@@ -1,0 +1,82 @@
+// Shared helpers for the figure/table benches.
+//
+// Every bench binary regenerates one table or figure of the paper: it runs the
+// rack simulator (or the analytical model) at the paper's parameters and prints
+// the same rows/series the paper reports.  Absolute numbers come from a
+// simulator, so EXPERIMENTS.md compares shapes (orderings, ratios, crossovers)
+// rather than testbed-specific magnitudes.
+
+#ifndef CCKVS_BENCH_BENCH_UTIL_H_
+#define CCKVS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+
+#include "src/cckvs/rack.h"
+
+namespace cckvs {
+namespace bench {
+
+// The paper's default rack: 9 nodes, 250M keys, 0.1% symmetric cache, 40B
+// values, alpha = 0.99 (§7.2).
+inline RackParams PaperRack(SystemKind kind,
+                            ConsistencyModel model = ConsistencyModel::kSc) {
+  RackParams p;
+  p.kind = kind;
+  p.consistency = model;
+  p.num_nodes = 9;
+  p.workload.keyspace = 250'000'000;
+  p.workload.zipf_alpha = 0.99;
+  p.workload.write_ratio = 0.0;
+  p.workload.value_bytes = 40;
+  p.cache_capacity = 250'000;
+  p.seed = 42;
+  return p;
+}
+
+// Uniform = Base under alpha = 0 (§7.1).
+inline RackParams UniformRack() {
+  RackParams p = PaperRack(SystemKind::kBase);
+  p.workload.zipf_alpha = 0.0;
+  return p;
+}
+
+struct RunWindows {
+  SimTime measure_ns = 250'000;
+  SimTime warmup_ns = 150'000;
+};
+
+// Base-EREW needs a long warmup: its hot-core queue fills slowly before the
+// system settles into the hot-core-bound steady state.  ccKVS runs with writes
+// need a long measurement window: hot-key write bursts and credit dynamics make
+// short windows noisy.
+inline RunWindows WindowsFor(const RackParams& p) {
+  RunWindows w;
+  if (p.kind == SystemKind::kBaseErew) {
+    w.warmup_ns = 3'000'000;
+    w.measure_ns = 500'000;
+  } else if (p.kind == SystemKind::kCcKvs && p.workload.write_ratio > 0.0) {
+    w.warmup_ns = 300'000;
+    w.measure_ns = 1'000'000;
+  }
+  return w;
+}
+
+inline RackReport RunRack(const RackParams& p) {
+  RackSimulation rack(p);
+  const RunWindows w = WindowsFor(p);
+  return rack.Run(w.measure_ns, w.warmup_ns);
+}
+
+inline RackReport RunRack(const RackParams& p, SimTime measure_ns, SimTime warmup_ns) {
+  RackSimulation rack(p);
+  return rack.Run(measure_ns, warmup_ns);
+}
+
+inline void PrintHeaderRule() {
+  std::printf("------------------------------------------------------------------------\n");
+}
+
+}  // namespace bench
+}  // namespace cckvs
+
+#endif  // CCKVS_BENCH_BENCH_UTIL_H_

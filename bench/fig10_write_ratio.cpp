@@ -1,0 +1,56 @@
+// Figure 10: sensitivity to write ratio (0-5%), 9 nodes, alpha = 0.99.
+//
+// Paper: the baselines are write-ratio-insensitive (network-bound either way);
+// ccKVS-SC/Lin decline as consistency traffic eats bandwidth but still beat
+// Base at 5% writes; at the Facebook-like 0.2% both are within 3% of read-only;
+// at 1% writes ccKVS-SC is ~2.5x and ccKVS-Lin ~2.2x Base.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace cckvs;
+  using namespace cckvs::bench;
+
+  std::printf("Figure 10: throughput (MRPS) vs write ratio, 9 nodes, alpha=0.99\n\n");
+  std::printf("%-10s %10s %10s %10s %10s %10s\n", "write %", "Uniform", "Base-EREW",
+              "Base", "ccKVS-SC", "ccKVS-Lin");
+
+  const double uniform = RunRack(UniformRack()).mrps;
+  // Baselines are insensitive to the write ratio (same message sizes both
+  // directions, §8.2): measure once.
+  const double erew = RunRack(PaperRack(SystemKind::kBaseErew)).mrps;
+  const double base = RunRack(PaperRack(SystemKind::kBase)).mrps;
+
+  double sc_at_1 = 0;
+  double lin_at_1 = 0;
+  double sc_at_0 = 0;
+  double lin_at_0 = 0;
+  for (const double w : {0.0, 0.002, 0.01, 0.02, 0.03, 0.04, 0.05}) {
+    RackParams sc = PaperRack(SystemKind::kCcKvs, ConsistencyModel::kSc);
+    sc.workload.write_ratio = w;
+    RackParams lin = PaperRack(SystemKind::kCcKvs, ConsistencyModel::kLin);
+    lin.workload.write_ratio = w;
+    const double sc_mrps = RunRack(sc).mrps;
+    const double lin_mrps = RunRack(lin).mrps;
+    std::printf("%-10.1f %10.1f %10.1f %10.1f %10.1f %10.1f%s\n", 100.0 * w, uniform,
+                erew, base, sc_mrps, lin_mrps,
+                w == 0.002 ? "   <- 0.2% (Facebook)" : "");
+    if (w == 0.0) {
+      sc_at_0 = sc_mrps;
+      lin_at_0 = lin_mrps;
+    }
+    if (w == 0.01) {
+      sc_at_1 = sc_mrps;
+      lin_at_1 = lin_mrps;
+    }
+  }
+
+  PrintHeaderRule();
+  std::printf("at 1%% writes: SC/Base = %.2fx (paper 2.5x), Lin/Base = %.2fx (paper 2.2x)\n",
+              sc_at_1 / base, lin_at_1 / base);
+  std::printf("read-only reference: SC %.1f, Lin %.1f MRPS\n", sc_at_0, lin_at_0);
+  return 0;
+}

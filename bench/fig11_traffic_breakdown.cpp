@@ -1,0 +1,41 @@
+// Figure 11: network traffic breakdown (% of bytes) for ccKVS-SC and ccKVS-Lin
+// at 1% and 5% write ratios, 9 nodes, alpha = 0.99.
+//
+// Paper: cache-miss RPC traffic dominates; consistency actions (updates for SC;
+// updates + invalidations + acks for Lin) claim an increasing share as the
+// write ratio grows; credit-update ("flow control") traffic is negligible
+// thanks to batching (§6.4).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace cckvs;
+  using namespace cckvs::bench;
+
+  std::printf("Figure 11: network traffic breakdown (%% of bytes), 9 nodes, alpha=0.99\n\n");
+  std::printf("%-14s %8s %10s %10s %8s %8s %12s\n", "system", "writes", "misses",
+              "updates", "invs", "acks", "flow control");
+
+  for (const double w : {0.01, 0.05}) {
+    for (const auto model : {ConsistencyModel::kSc, ConsistencyModel::kLin}) {
+      RackParams p = PaperRack(SystemKind::kCcKvs, model);
+      p.workload.write_ratio = w;
+      const RackReport r = RunRack(p);
+      const double miss = r.class_gbps[static_cast<int>(TrafficClass::kRemoteRequest)] +
+                          r.class_gbps[static_cast<int>(TrafficClass::kRemoteResponse)];
+      const double upd = r.class_gbps[static_cast<int>(TrafficClass::kUpdate)];
+      const double inv = r.class_gbps[static_cast<int>(TrafficClass::kInvalidation)];
+      const double ack = r.class_gbps[static_cast<int>(TrafficClass::kAck)];
+      const double fc = r.class_gbps[static_cast<int>(TrafficClass::kCreditUpdate)];
+      const double total = miss + upd + inv + ack + fc;
+      std::printf("ccKVS-%-8s %7.0f%% %9.1f%% %9.1f%% %7.1f%% %7.1f%% %11.2f%%\n",
+                  ToString(model), 100.0 * w, 100.0 * miss / total, 100.0 * upd / total,
+                  100.0 * inv / total, 100.0 * ack / total, 100.0 * fc / total);
+    }
+  }
+  std::printf("\npaper: consistency share grows with write ratio; Lin adds inv+ack\n"
+              "traffic over SC; flow control is a negligible sliver\n");
+  return 0;
+}

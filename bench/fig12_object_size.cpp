@@ -1,0 +1,44 @@
+// Figure 12: read-only and 1%-writes throughput while varying object size
+// (40B / 256B / 1KB), 9 nodes, alpha = 0.99, no coalescing.
+//
+// Paper: read-only relative performance is size-independent (ccKVS >3x Base for
+// big objects too); with writes, growing the object size shrinks the gap
+// between ccKVS-Lin and ccKVS-SC because data payloads dwarf the fixed-size
+// invalidation/ack messages.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace cckvs;
+  using namespace cckvs::bench;
+
+  std::printf("Figure 12: throughput (MRPS) vs object size, 9 nodes, alpha=0.99\n\n");
+  std::printf("%-12s %10s %10s %10s %10s %14s\n", "object", "writes", "Base",
+              "ccKVS-SC", "ccKVS-Lin", "Lin/SC ratio");
+
+  for (const double w : {0.0, 0.01}) {
+    for (const std::uint32_t size : {40u, 256u, 1024u}) {
+      RackParams base = PaperRack(SystemKind::kBase);
+      base.workload.value_bytes = size;
+      base.workload.write_ratio = w;
+      RackParams sc = PaperRack(SystemKind::kCcKvs, ConsistencyModel::kSc);
+      sc.workload.value_bytes = size;
+      sc.workload.write_ratio = w;
+      RackParams lin = PaperRack(SystemKind::kCcKvs, ConsistencyModel::kLin);
+      lin.workload.value_bytes = size;
+      lin.workload.write_ratio = w;
+      const double base_mrps = RunRack(base).mrps;
+      const double sc_mrps = RunRack(sc).mrps;
+      const double lin_mrps = RunRack(lin).mrps;
+      std::printf("%-12s %9.0f%% %10.1f %10.1f %10.1f %14.3f\n",
+                  size == 40 ? "40 B" : size == 256 ? "256 B" : "1 KB", 100.0 * w,
+                  base_mrps, sc_mrps, lin_mrps, lin_mrps / sc_mrps);
+    }
+    std::printf("\n");
+  }
+  std::printf("paper: with 1%% writes the Lin/SC gap closes as objects grow\n"
+              "(invalidations+acks amortize against large payloads)\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 13c: average and 95th-percentile latency at various load levels, with
+// request coalescing, for read-only ccKVS and 1%-writes ccKVS-SC / ccKVS-Lin.
+//
+// Paper: even at high load, tail latency stays ~an order of magnitude below the
+// 1 ms KVS service target; the read-only and SC tails hug their averages, while
+// the Lin tail visibly separates at high load (blocking two-phase writes sit on
+// the critical path).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace cckvs;
+  using namespace cckvs::bench;
+
+  std::printf("Figure 13c: latency vs offered load, coalescing on, 9 nodes, alpha=0.99\n\n");
+  std::printf("%-14s %-12s %10s %10s %10s\n", "system", "load MRPS", "avg us",
+              "p95 us", "p99 us");
+
+  struct Config {
+    const char* name;
+    ConsistencyModel model;
+    double write_ratio;
+  };
+  const std::vector<Config> configs = {
+      {"read-only", ConsistencyModel::kSc, 0.0},
+      {"SC 1% wr", ConsistencyModel::kSc, 0.01},
+      {"Lin 1% wr", ConsistencyModel::kLin, 0.01},
+  };
+
+  // Offered load per node, swept toward saturation (aggregate = 9x; the
+  // coalesced-ccKVS saturation point sits near ~115 MRPS/node here).
+  const std::vector<double> per_node_mrps = {20, 50, 80, 100, 110};
+
+  for (const Config& cfg : configs) {
+    for (const double load : per_node_mrps) {
+      RackParams p = PaperRack(SystemKind::kCcKvs, cfg.model);
+      p.workload.write_ratio = cfg.write_ratio;
+      p.coalescing = true;
+      p.open_loop_mrps_per_node = load;
+      RackSimulation rack(p);
+      const RackReport r = rack.Run(250'000, 100'000);
+      std::printf("%-14s %-12.0f %10.1f %10.1f %10.1f\n", cfg.name, load * 9,
+                  r.avg_latency_us, r.p95_latency_us, r.p99_latency_us);
+    }
+    std::printf("\n");
+  }
+  std::printf("paper: all curves stay far below the 1 ms target; Lin's p95\n"
+              "separates from its average at high load (blocking writes)\n");
+  return 0;
+}

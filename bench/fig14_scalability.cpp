@@ -1,0 +1,60 @@
+// Figure 14: ccKVS scalability study using the analytical model (5-40 servers,
+// dashed in the paper) validated against real-system measurements (solid, up to
+// 9 servers), at 1% writes and alpha = 0.99.
+//
+// Paper: Uniform scales almost perfectly linearly; ccKVS-SC/Lin scale
+// sublinearly (consistency traffic grows with N); the model tracks the
+// measured 9-node throughput within ~2%.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/model/analytical.h"
+
+int main() {
+  using namespace cckvs;
+  using namespace cckvs::bench;
+
+  std::printf("Figure 14: scalability at 1%% writes, alpha=0.99 (MRPS)\n\n");
+  std::printf("%-8s %12s %12s %12s %12s %12s %12s\n", "servers", "SC(model)",
+              "Lin(model)", "Unif(model)", "SC(sim)", "Lin(sim)", "Unif(sim)");
+
+  for (const int n : {5, 7, 9, 12, 16, 20, 25, 30, 35, 40}) {
+    ModelParams mp;
+    mp.num_servers = n;
+    mp.write_ratio = 0.01;
+    mp.hit_ratio = 0.63;  // exact Figure 3 value at 0.1% cache, alpha 0.99
+    const double sc_model = ThroughputScMrps(mp);
+    const double lin_model = ThroughputLinMrps(mp);
+    const double unif_model = ThroughputUniformMrps(mp);
+
+    if (n <= 9) {  // the paper's testbed tops out at 9 machines; so does ours
+      RackParams sc = PaperRack(SystemKind::kCcKvs, ConsistencyModel::kSc);
+      sc.num_nodes = n;
+      sc.workload.write_ratio = 0.01;
+      RackParams lin = PaperRack(SystemKind::kCcKvs, ConsistencyModel::kLin);
+      lin.num_nodes = n;
+      lin.workload.write_ratio = 0.01;
+      RackParams unif = UniformRack();
+      unif.num_nodes = n;
+      const double sc_sim = RunRack(sc, 400'000, 300'000).mrps;
+      const double lin_sim = RunRack(lin, 400'000, 300'000).mrps;
+      const double unif_sim = RunRack(unif, 400'000, 300'000).mrps;
+      std::printf("%-8d %12.1f %12.1f %12.1f %12.1f %12.1f %12.1f\n", n, sc_model,
+                  lin_model, unif_model, sc_sim, lin_sim, unif_sim);
+      if (n == 9) {
+        std::printf("         (model-vs-sim at 9 nodes: SC %+.1f%%, Lin %+.1f%%, "
+                    "Uniform %+.1f%%; paper: within ~2%%)\n",
+                    100.0 * (sc_model - sc_sim) / sc_sim,
+                    100.0 * (lin_model - lin_sim) / lin_sim,
+                    100.0 * (unif_model - unif_sim) / unif_sim);
+      }
+    } else {
+      std::printf("%-8d %12.1f %12.1f %12.1f %12s %12s %12s\n", n, sc_model,
+                  lin_model, unif_model, "-", "-", "-");
+    }
+  }
+  std::printf("\npaper: SC/Lin sublinear (consistency traffic grows with N); Lin\n"
+              "scales worse than SC (two-phase protocol)\n");
+  return 0;
+}

@@ -1,0 +1,217 @@
+// google-benchmark microbenches for the data-plane components: the MICA-like
+// store (single- and multi-threaded CRCW), seqlocks, the Zipf sampler, the
+// symmetric cache probe path and the Space-Saving sketch.
+//
+// These measure the real (wall-clock) cost of the concurrent data structures —
+// the part of the system that runs as genuine multithreaded code rather than
+// under the deterministic simulator.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <string>
+
+#include "src/cache/symmetric_cache.h"
+#include "src/common/rng.h"
+#include "src/common/zipf.h"
+#include "src/store/partition.h"
+#include "src/store/seqlock.h"
+#include "src/topk/space_saving.h"
+#include "src/workload/workload.h"
+
+namespace cckvs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Store
+// ---------------------------------------------------------------------------
+
+void BM_StoreGetHit(benchmark::State& state) {
+  PartitionConfig pc;
+  pc.buckets = 1 << 16;
+  Partition part(pc);
+  const int keys = 100'000;
+  for (Key k = 0; k < keys; ++k) {
+    part.Put(k, SynthesizeValue(k, 40));
+  }
+  Rng rng(1);
+  Value v;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part.Get(rng.NextBounded(keys), &v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreGetHit);
+
+void BM_StorePut(benchmark::State& state) {
+  PartitionConfig pc;
+  pc.buckets = 1 << 16;
+  Partition part(pc);
+  const int keys = 100'000;
+  Rng rng(2);
+  const Value v = SynthesizeValue(7, 40);
+  for (auto _ : state) {
+    part.Put(rng.NextBounded(keys), v);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StorePut);
+
+void BM_StoreGetSynthesized(benchmark::State& state) {
+  PartitionConfig pc;
+  pc.buckets = 1 << 12;
+  pc.synthesize = [](Key key) { return SynthesizeValue(key, 40); };
+  Partition part(pc);
+  Rng rng(3);
+  Value v;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part.Get(rng.Next(), &v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreGetSynthesized);
+
+// CRCW: concurrent readers with a 5% writer mix, the §6.2 concurrency model.
+void BM_StoreCrcwMixed(benchmark::State& state) {
+  static Partition* part = nullptr;
+  if (state.thread_index() == 0) {
+    PartitionConfig pc;
+    pc.buckets = 1 << 16;
+    part = new Partition(pc);
+    for (Key k = 0; k < 100'000; ++k) {
+      part->Put(k, SynthesizeValue(k, 40));
+    }
+  }
+  Rng rng(100 + static_cast<std::uint64_t>(state.thread_index()));
+  Value v;
+  const Value w = SynthesizeValue(9, 40);
+  for (auto _ : state) {
+    const Key k = rng.NextBounded(100'000);
+    if (rng.NextBool(0.05)) {
+      part->Put(k, w);
+    } else {
+      benchmark::DoNotOptimize(part->Get(k, &v));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete part;
+    part = nullptr;
+  }
+}
+BENCHMARK(BM_StoreCrcwMixed)->Threads(1)->Threads(2)->Threads(4);
+
+// ---------------------------------------------------------------------------
+// Seqlock
+// ---------------------------------------------------------------------------
+
+void BM_SeqlockReadUncontended(benchmark::State& state) {
+  Seqlock lock;
+  std::uint64_t data = 42;
+  for (auto _ : state) {
+    std::uint32_t v;
+    std::uint64_t copy;
+    do {
+      v = lock.ReadBegin();
+      copy = data;
+    } while (lock.ReadRetry(v));
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_SeqlockReadUncontended);
+
+void BM_SeqlockWrite(benchmark::State& state) {
+  Seqlock lock;
+  std::uint64_t data = 0;
+  for (auto _ : state) {
+    SeqlockWriteGuard guard(lock);
+    benchmark::DoNotOptimize(++data);
+  }
+}
+BENCHMARK(BM_SeqlockWrite);
+
+// ---------------------------------------------------------------------------
+// Zipf sampling
+// ---------------------------------------------------------------------------
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler sampler(250'000'000, 0.99);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_KeyScramble(benchmark::State& state) {
+  KeyScrambler scrambler(250'000'000, 9);
+  std::uint64_t r = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scrambler.RankToKey(r++ % 250'000'000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KeyScramble);
+
+void BM_WorkloadNext(benchmark::State& state) {
+  WorkloadConfig cfg;
+  cfg.keyspace = 250'000'000;
+  cfg.write_ratio = 0.01;
+  WorkloadGenerator gen(cfg, 1, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkloadNext);
+
+// ---------------------------------------------------------------------------
+// Symmetric cache + top-k
+// ---------------------------------------------------------------------------
+
+void BM_CacheProbeHit(benchmark::State& state) {
+  SymmetricCache cache(250'000);
+  std::vector<Key> keys;
+  for (Key k = 0; k < 250'000; ++k) {
+    keys.push_back(k);
+  }
+  cache.InstallHotSet(keys);
+  Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Probe(rng.NextBounded(250'000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheProbeHit);
+
+void BM_CacheProbeMiss(benchmark::State& state) {
+  SymmetricCache cache(1000);
+  std::vector<Key> keys;
+  for (Key k = 0; k < 1000; ++k) {
+    keys.push_back(k);
+  }
+  cache.InstallHotSet(keys);
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Probe(1'000'000 + rng.Next() % 1'000'000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheProbeMiss);
+
+void BM_SpaceSavingOffer(benchmark::State& state) {
+  SpaceSaving ss(4096);
+  ZipfSampler sampler(1'000'000, 0.99);
+  Rng rng(10);
+  for (auto _ : state) {
+    ss.Offer(sampler.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpaceSavingOffer);
+
+}  // namespace
+}  // namespace cckvs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// §5.2 "Verification": exhaustive model checking of the Lin protocol.
+//
+// The paper expressed its Lin protocol in Murphi and verified safety (the
+// single-writer-multiple-reader and data-value invariants) and deadlock freedom
+// with 3 processors, 2 addresses and 2-bit timestamps.  This bench runs our
+// checker — which explores every interleaving of the *production* LinEngine —
+// at and beyond that scale, and prints the explored state-space size.
+// (Per-key protocols make keys independent, so one key covers the 2-address
+// Murphi configuration; see tests/verify_test.cc.)
+
+#include <chrono>
+#include <cstdio>
+
+#include "src/verify/model_checker.h"
+
+int main() {
+  using namespace cckvs;
+  std::printf("Section 5.2: exhaustive verification of the Lin protocol\n\n");
+  std::printf("%-10s %-8s %12s %14s %10s %8s %8s\n", "nodes", "writes", "states",
+              "transitions", "terminals", "depth", "result");
+
+  struct Scope {
+    int nodes;
+    int writes;
+  };
+  for (const Scope s : {Scope{2, 2}, Scope{2, 3}, Scope{3, 2}, Scope{3, 3}}) {
+    ModelCheckerConfig cfg;
+    cfg.num_nodes = s.nodes;
+    cfg.total_writes = s.writes;
+    const auto start = std::chrono::steady_clock::now();
+    const ModelCheckerResult r = CheckLinProtocol(cfg);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    std::printf("%-10d %-8d %12llu %14llu %10llu %8llu %8s  (%.1fs)\n", s.nodes,
+                s.writes, static_cast<unsigned long long>(r.states_explored),
+                static_cast<unsigned long long>(r.transitions),
+                static_cast<unsigned long long>(r.terminal_states),
+                static_cast<unsigned long long>(r.max_depth), r.ok ? "OK" : "FAIL",
+                secs);
+    if (!r.ok) {
+      std::printf("  FAILURE: %s\n", r.failure.c_str());
+      return 1;
+    }
+  }
+  std::printf("\nverified: data-value invariant, per-node timestamp monotonicity\n"
+              "(logical-time SWMR), real-time write ordering, deadlock freedom,\n"
+              "and convergence at quiescence — on the production LinEngine code\n");
+  return 0;
+}

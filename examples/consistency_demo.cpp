@@ -1,0 +1,168 @@
+// Consistency semantics demo: the paper's Figures 5 and 6, executable.
+//
+// Drives the SC and Lin protocol engines directly (no simulator) through the
+// exact scenarios the paper uses to define its consistency models, and shows
+// which behaviours each protocol admits:
+//
+//   Figure 5  — a session reading a stale value after another session's
+//               completed write: legal under per-key SC, impossible under Lin.
+//   Figure 6  — two sessions disagreeing on the order of two writes: illegal
+//               under both models; Lamport-timestamped updates prevent it.
+
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/cache/symmetric_cache.h"
+#include "src/protocol/engine.h"
+
+namespace {
+
+using namespace cckvs;
+
+constexpr Key kK = 1;
+
+// Minimal fabric: queues protocol messages so the demo controls delivery.
+class DemoFabric {
+ public:
+  DemoFabric(int n, ConsistencyModel model) {
+    for (int i = 0; i < n; ++i) {
+      caches_.push_back(std::make_unique<SymmetricCache>(2));
+      caches_.back()->InstallHotSet({kK});
+      caches_.back()->Fill(kK, "0", Timestamp{0, 0});
+      sinks_.push_back(std::make_unique<Sink>(this, static_cast<NodeId>(i)));
+    }
+    for (int i = 0; i < n; ++i) {
+      if (model == ConsistencyModel::kSc) {
+        engines_.push_back(std::make_unique<ScEngine>(
+            static_cast<NodeId>(i), n, caches_[static_cast<std::size_t>(i)].get(),
+            sinks_[static_cast<std::size_t>(i)].get()));
+      } else {
+        engines_.push_back(std::make_unique<LinEngine>(
+            static_cast<NodeId>(i), n, caches_[static_cast<std::size_t>(i)].get(),
+            sinks_[static_cast<std::size_t>(i)].get()));
+      }
+    }
+  }
+
+  CoherenceEngine& node(int i) { return *engines_[static_cast<std::size_t>(i)]; }
+  std::size_t in_flight() const { return queue_.size(); }
+
+  void DeliverAll() {
+    while (!queue_.empty()) {
+      auto fn = std::move(queue_.front());
+      queue_.pop_front();
+      fn();
+    }
+  }
+
+ private:
+  class Sink final : public MessageSink {
+   public:
+    Sink(DemoFabric* fabric, NodeId self) : fabric_(fabric), self_(self) {}
+    void BroadcastUpdate(const UpdateMsg& msg) override {
+      for (std::size_t j = 0; j < fabric_->engines_.size(); ++j) {
+        if (j != self_) {
+          fabric_->queue_.push_back(
+              [f = fabric_, j, msg, s = self_] { f->engines_[j]->OnUpdate(s, msg); });
+        }
+      }
+    }
+    void BroadcastInvalidate(const InvalidateMsg& msg) override {
+      for (std::size_t j = 0; j < fabric_->engines_.size(); ++j) {
+        if (j != self_) {
+          fabric_->queue_.push_back([f = fabric_, j, msg, s = self_] {
+            f->engines_[j]->OnInvalidate(s, msg);
+          });
+        }
+      }
+    }
+    void SendAck(NodeId to, const AckMsg& msg) override {
+      fabric_->queue_.push_back(
+          [f = fabric_, to, msg, s = self_] { f->engines_[to]->OnAck(s, msg); });
+    }
+
+   private:
+    DemoFabric* fabric_;
+    NodeId self_;
+  };
+
+  std::vector<std::unique_ptr<SymmetricCache>> caches_;
+  std::vector<std::unique_ptr<Sink>> sinks_;
+  std::vector<std::unique_ptr<CoherenceEngine>> engines_;
+  std::deque<std::function<void()>> queue_;
+};
+
+void Figure5(ConsistencyModel model) {
+  std::printf("--- Figure 5 under %s ---\n", ToString(model));
+  DemoFabric f(2, model);
+
+  // t0: session A (node 0) PUT(K, 1).
+  bool put_returned = false;
+  f.node(0).Write(kK, "1", [&] { put_returned = true; });
+  if (model == ConsistencyModel::kLin) {
+    f.DeliverAll();  // Lin blocks until invalidations are acknowledged
+  }
+  std::printf("t0  session A: PUT(K,1)%s\n",
+              put_returned ? " -> returned" : " (still propagating...)");
+
+  // t1: session A reads its own write.
+  Value v;
+  if (f.node(0).Read(kK, &v, nullptr, [&](const Value& rv, Timestamp) { v = rv; }) ==
+      CoherenceEngine::ReadResult::kBlocked) {
+    f.DeliverAll();
+  }
+  std::printf("t1  session A: GET(K) -> %s\n", v.c_str());
+
+  // t2: session B (node 1) reads.  Under SC the update may still be in flight:
+  // B can legally observe the old value.  Under Lin the write has already
+  // reached every replica before returning, so B must see the new value.
+  bool blocked = false;
+  Value vb;
+  const auto r = f.node(1).Read(kK, &vb, nullptr, [&](const Value& rv, Timestamp) {
+    vb = rv;
+    blocked = true;
+  });
+  if (r == CoherenceEngine::ReadResult::kBlocked) {
+    f.DeliverAll();
+  }
+  std::printf("t2  session B: GET(K) -> %s%s\n", vb.c_str(),
+              blocked ? "  (read waited for the update)" : "");
+  std::printf("%s\n\n",
+              vb == "0" ? "  => stale read: allowed by per-key SC, a violation under Lin"
+                        : "  => B observed the committed value: required by Lin");
+}
+
+void Figure6(ConsistencyModel model) {
+  std::printf("--- Figure 6 under %s ---\n", ToString(model));
+  DemoFabric f(4, model);
+
+  // Sessions A (node 0) and D (node 3) write concurrently.
+  f.node(0).Write(kK, "1", nullptr);
+  f.node(3).Write(kK, "2", nullptr);
+  f.DeliverAll();
+
+  // Sessions B and C read twice each; all replicas already converged, and the
+  // Lamport order (clock, then writer id) fixed a single global write order.
+  Value vb1, vb2, vc1, vc2;
+  f.node(1).Read(kK, &vb1, nullptr, nullptr);
+  f.node(2).Read(kK, &vc1, nullptr, nullptr);
+  f.node(1).Read(kK, &vb2, nullptr, nullptr);
+  f.node(2).Read(kK, &vc2, nullptr, nullptr);
+  std::printf("session B reads: %s then %s\n", vb1.c_str(), vb2.c_str());
+  std::printf("session C reads: %s then %s\n", vc1.c_str(), vc2.c_str());
+  std::printf("  => all sessions agree on the write order (timestamp "
+              "serialization); the Figure-6 disagreement cannot occur\n\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ccKVS consistency semantics demo (paper Figures 5 and 6)\n\n");
+  Figure5(ConsistencyModel::kSc);
+  Figure5(ConsistencyModel::kLin);
+  Figure6(ConsistencyModel::kSc);
+  Figure6(ConsistencyModel::kLin);
+  return 0;
+}

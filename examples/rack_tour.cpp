@@ -1,0 +1,63 @@
+// Rack tour: an end-to-end comparison run, the "evaluation in one binary".
+//
+// Stands up the paper's full 9-node configuration for each system — Base-EREW,
+// Base, Uniform, ccKVS-SC, ccKVS-Lin — under a YCSB-B-like workload (95% reads,
+// 5% writes, Zipf 0.99) and prints a side-by-side scorecard: throughput, hit
+// rate, latency, per-node network usage and consistency traffic.
+//
+//   $ ./rack_tour [write_ratio]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/cckvs/rack.h"
+
+int main(int argc, char** argv) {
+  using namespace cckvs;
+  const double write_ratio = argc > 1 ? std::atof(argv[1]) : 0.05;
+
+  std::printf("rack tour: 9 nodes, 250M keys, Zipf 0.99, %.1f%% writes, 40B values\n\n",
+              100.0 * write_ratio);
+  std::printf("%-12s %10s %9s %9s %9s %11s %12s\n", "system", "MRPS", "hit %",
+              "avg us", "p95 us", "net Gb/s", "cons. msgs");
+
+  struct Entry {
+    const char* name;
+    SystemKind kind;
+    ConsistencyModel model;
+    double alpha;
+  };
+  const Entry entries[] = {
+      {"Base-EREW", SystemKind::kBaseErew, ConsistencyModel::kNone, 0.99},
+      {"Base", SystemKind::kBase, ConsistencyModel::kNone, 0.99},
+      {"Uniform", SystemKind::kBase, ConsistencyModel::kNone, 0.0},
+      {"ccKVS-SC", SystemKind::kCcKvs, ConsistencyModel::kSc, 0.99},
+      {"ccKVS-Lin", SystemKind::kCcKvs, ConsistencyModel::kLin, 0.99},
+  };
+
+  for (const Entry& e : entries) {
+    RackParams p;
+    p.kind = e.kind;
+    if (e.kind == SystemKind::kCcKvs) {
+      p.consistency = e.model;
+    }
+    p.num_nodes = 9;
+    p.workload.keyspace = 250'000'000;
+    p.workload.zipf_alpha = e.alpha;
+    p.workload.write_ratio = write_ratio;
+    p.cache_capacity = 250'000;
+    RackSimulation rack(p);
+    const SimTime warmup = e.kind == SystemKind::kBaseErew ? 3'000'000 : 150'000;
+    const RackReport r = rack.Run(250'000, warmup);
+    const std::uint64_t consistency_msgs =
+        r.updates_sent + r.invalidations_sent + r.acks_sent;
+    std::printf("%-12s %10.1f %8.0f%% %9.1f %9.1f %11.1f %12llu\n", e.name, r.mrps,
+                100.0 * r.hit_rate, r.avg_latency_us, r.p95_latency_us,
+                r.tx_gbps_per_node, static_cast<unsigned long long>(consistency_msgs));
+  }
+
+  std::printf("\nwhat to look for: ccKVS leads while writes are modest; raise the\n"
+              "write ratio (e.g. ./rack_tour 0.15) and watch the consistency\n"
+              "traffic erode its advantage until Uniform breaks even (Figure 15)\n");
+  return 0;
+}

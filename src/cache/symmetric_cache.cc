@@ -1,0 +1,86 @@
+#include "src/cache/symmetric_cache.h"
+
+#include <unordered_set>
+
+#include "src/common/check.h"
+
+namespace cckvs {
+
+SymmetricCache::SymmetricCache(std::size_t capacity) : capacity_(capacity) {
+  CCKVS_CHECK_GE(capacity, 1u);
+  entries_.reserve(capacity * 2);
+}
+
+bool SymmetricCache::Probe(Key key) const {
+  ++stats_.probes;
+  if (entries_.count(key) != 0) {
+    ++stats_.hits;
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+CacheEntry* SymmetricCache::Find(Key key) {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const CacheEntry* SymmetricCache::Find(Key key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void SymmetricCache::Fill(Key key, const Value& value, Timestamp ts) {
+  CacheEntry* entry = Find(key);
+  CCKVS_CHECK(entry != nullptr);
+  // Fills never regress an entry that already advanced past the fill's
+  // timestamp (a hot write may have raced ahead of the epoch fill).
+  if (entry->state() == CacheState::kFilling) {
+    entry->value = value;
+    entry->value_ts = ts;
+    entry->set_ts(ts);
+    entry->set_state(CacheState::kValid);
+    ++stats_.fills;
+  }
+}
+
+std::vector<SymmetricCache::Eviction> SymmetricCache::InstallHotSet(
+    const std::vector<Key>& keys) {
+  CCKVS_CHECK_LE(keys.size(), capacity_);
+  std::unordered_set<Key> fresh(keys.begin(), keys.end());
+  std::vector<Eviction> dirty;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (fresh.count(it->first) == 0) {
+      ++stats_.evictions;
+      if (it->second.dirty) {
+        ++stats_.dirty_evictions;
+        // Flush the installed (value, value_ts) pair: for entries in transient
+        // states the header timestamp may belong to a newer, not-yet-installed
+        // write, and pairing it with the old value would corrupt the shard.
+        dirty.push_back(Eviction{it->first, it->second.value, it->second.value_ts});
+      }
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const Key key : keys) {
+    if (entries_.find(key) == entries_.end()) {
+      entries_.emplace(key, CacheEntry{});
+    }
+  }
+  return dirty;
+}
+
+std::vector<Key> SymmetricCache::PendingFills() const {
+  std::vector<Key> pending;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.state() == CacheState::kFilling) {
+      pending.push_back(key);
+    }
+  }
+  return pending;
+}
+
+}  // namespace cckvs

@@ -1,0 +1,136 @@
+// RPC request/response formats for the FaSST-style remote KVS access path
+// (§6.1): efficient single-key GET/PUT operations over UD sends.
+//
+// Packets may carry several requests or responses when request coalescing is on
+// (§8.5); the count rides first.  The `payload_bytes` put on the simulated wire
+// comes from WireFormat (the paper's calibrated sizes), not from the size of
+// these semantic buffers.
+
+#ifndef CCKVS_CCKVS_RPC_MESSAGES_H_
+#define CCKVS_CCKVS_RPC_MESSAGES_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/rdma/serialize.h"
+
+namespace cckvs {
+
+struct RpcRequest {
+  std::uint32_t op_id = 0;  // requester-local operation id, echoed in response
+  OpType op = OpType::kGet;
+  Key key = 0;
+  Value value;  // PUT only
+};
+
+struct RpcResponse {
+  std::uint32_t op_id = 0;
+  Value value;  // GET only
+  Timestamp ts{};
+};
+
+inline void SerializeBatch(const std::vector<RpcRequest>& reqs, Buffer* out) {
+  BufferWriter w(out);
+  w.PutU16(static_cast<std::uint16_t>(reqs.size()));
+  for (const RpcRequest& r : reqs) {
+    w.PutU32(r.op_id);
+    w.PutU8(static_cast<std::uint8_t>(r.op));
+    w.PutU64(r.key);
+    if (r.op == OpType::kPut) {
+      w.PutString(r.value);
+    }
+  }
+}
+
+inline std::vector<RpcRequest> DeserializeRequests(const Buffer& in) {
+  BufferReader r(in);
+  const std::uint16_t count = r.GetU16();
+  std::vector<RpcRequest> reqs(count);
+  for (RpcRequest& req : reqs) {
+    req.op_id = r.GetU32();
+    req.op = static_cast<OpType>(r.GetU8());
+    req.key = r.GetU64();
+    if (req.op == OpType::kPut) {
+      req.value = r.GetString();
+    }
+  }
+  return reqs;
+}
+
+inline void SerializeBatch(const std::vector<RpcResponse>& resps, Buffer* out) {
+  BufferWriter w(out);
+  w.PutU16(static_cast<std::uint16_t>(resps.size()));
+  for (const RpcResponse& resp : resps) {
+    w.PutU32(resp.op_id);
+    w.PutU32(resp.ts.clock);
+    w.PutU8(resp.ts.writer);
+    w.PutString(resp.value);
+  }
+}
+
+inline std::vector<RpcResponse> DeserializeResponses(const Buffer& in) {
+  BufferReader r(in);
+  const std::uint16_t count = r.GetU16();
+  std::vector<RpcResponse> resps(count);
+  for (RpcResponse& resp : resps) {
+    resp.op_id = r.GetU32();
+    resp.ts.clock = r.GetU32();
+    resp.ts.writer = static_cast<NodeId>(r.GetU8());
+    resp.value = r.GetString();
+  }
+  return resps;
+}
+
+// Cache-fill record (epoch hot-set installation).
+struct FillMsg {
+  Key key = 0;
+  Value value;
+  Timestamp ts{};
+};
+
+inline void SerializeBatch(const std::vector<FillMsg>& fills, Buffer* out) {
+  BufferWriter w(out);
+  w.PutU16(static_cast<std::uint16_t>(fills.size()));
+  for (const FillMsg& f : fills) {
+    w.PutU64(f.key);
+    w.PutU32(f.ts.clock);
+    w.PutU8(f.ts.writer);
+    w.PutString(f.value);
+  }
+}
+
+inline std::vector<FillMsg> DeserializeFills(const Buffer& in) {
+  BufferReader r(in);
+  const std::uint16_t count = r.GetU16();
+  std::vector<FillMsg> fills(count);
+  for (FillMsg& f : fills) {
+    f.key = r.GetU64();
+    f.ts.clock = r.GetU32();
+    f.ts.writer = static_cast<NodeId>(r.GetU8());
+    f.value = r.GetString();
+  }
+  return fills;
+}
+
+// Hot-set announcement from the epoch coordinator.
+inline void SerializeHotSet(const std::vector<Key>& keys, Buffer* out) {
+  BufferWriter w(out);
+  w.PutU32(static_cast<std::uint32_t>(keys.size()));
+  for (const Key k : keys) {
+    w.PutU64(k);
+  }
+}
+
+inline std::vector<Key> DeserializeHotSet(const Buffer& in) {
+  BufferReader r(in);
+  const std::uint32_t count = r.GetU32();
+  std::vector<Key> keys(count);
+  for (Key& k : keys) {
+    k = r.GetU64();
+  }
+  return keys;
+}
+
+}  // namespace cckvs
+
+#endif  // CCKVS_CCKVS_RPC_MESSAGES_H_

@@ -1,0 +1,13 @@
+#include "src/common/check.h"
+
+namespace cckvs {
+namespace internal {
+
+void CheckFail(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "%s:%d  %s\n", file, line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace cckvs

@@ -1,0 +1,70 @@
+// Lightweight CHECK/DCHECK macros (abort-on-failure invariant checks).
+//
+// The library does not use exceptions for control flow (Google style); programmer
+// errors and broken invariants terminate the process with a diagnostic instead.
+
+#ifndef CCKVS_COMMON_CHECK_H_
+#define CCKVS_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace cckvs {
+namespace internal {
+
+// Terminates the process after printing `file:line  msg` to stderr.  Kept
+// out-of-line so the fast path of CHECK stays small.
+[[noreturn]] void CheckFail(const char* file, int line, const std::string& msg);
+
+// Stringifies two operands for a binary CHECK failure message.
+template <typename A, typename B>
+std::string CheckOpMessage(const char* expr, const A& a, const B& b) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " (lhs=" << a << ", rhs=" << b << ")";
+  return os.str();
+}
+
+}  // namespace internal
+}  // namespace cckvs
+
+#define CCKVS_CHECK(cond)                                                      \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      ::cckvs::internal::CheckFail(__FILE__, __LINE__,                         \
+                                   "CHECK failed: " #cond);                    \
+    }                                                                          \
+  } while (0)
+
+#define CCKVS_CHECK_OP(op, a, b)                                               \
+  do {                                                                         \
+    if (!((a)op(b))) {                                                         \
+      ::cckvs::internal::CheckFail(                                            \
+          __FILE__, __LINE__,                                                  \
+          ::cckvs::internal::CheckOpMessage(#a " " #op " " #b, (a), (b)));     \
+    }                                                                          \
+  } while (0)
+
+#define CCKVS_CHECK_EQ(a, b) CCKVS_CHECK_OP(==, a, b)
+#define CCKVS_CHECK_NE(a, b) CCKVS_CHECK_OP(!=, a, b)
+#define CCKVS_CHECK_LT(a, b) CCKVS_CHECK_OP(<, a, b)
+#define CCKVS_CHECK_LE(a, b) CCKVS_CHECK_OP(<=, a, b)
+#define CCKVS_CHECK_GT(a, b) CCKVS_CHECK_OP(>, a, b)
+#define CCKVS_CHECK_GE(a, b) CCKVS_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define CCKVS_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#define CCKVS_DCHECK_EQ(a, b) CCKVS_DCHECK((a) == (b))
+#define CCKVS_DCHECK_LT(a, b) CCKVS_DCHECK((a) < (b))
+#define CCKVS_DCHECK_LE(a, b) CCKVS_DCHECK((a) <= (b))
+#else
+#define CCKVS_DCHECK(cond) CCKVS_CHECK(cond)
+#define CCKVS_DCHECK_EQ(a, b) CCKVS_CHECK_EQ(a, b)
+#define CCKVS_DCHECK_LT(a, b) CCKVS_CHECK_LT(a, b)
+#define CCKVS_DCHECK_LE(a, b) CCKVS_CHECK_LE(a, b)
+#endif
+
+#endif  // CCKVS_COMMON_CHECK_H_

@@ -1,0 +1,37 @@
+// Hash functions used for sharding and store indexing.
+
+#ifndef CCKVS_COMMON_HASH_H_
+#define CCKVS_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace cckvs {
+
+// 64-bit avalanche finalizer (MurmurHash3 fmix64).  Bijective on uint64.
+inline std::uint64_t Mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+// FNV-1a over arbitrary bytes; used where we hash strings (e.g. ring vnode tags).
+inline std::uint64_t Fnv1a(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// Canonical key hash used across the KVS, the cache and the partitioners so a
+// key maps consistently everywhere.
+inline std::uint64_t HashKey(std::uint64_t key) { return Mix64(key); }
+
+}  // namespace cckvs
+
+#endif  // CCKVS_COMMON_HASH_H_

@@ -1,0 +1,89 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/common/check.h"
+
+namespace cckvs {
+
+Histogram::Histogram() : buckets_(kBucketCount, 0) {}
+
+int Histogram::BucketIndex(std::uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<int>(value);
+  }
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - kSubBucketBits;
+  const auto sub = static_cast<int>(value >> shift) - kSubBuckets;
+  const int index = (shift + 1) * kSubBuckets + sub;
+  CCKVS_DCHECK_LT(index, kBucketCount);
+  return index;
+}
+
+std::uint64_t Histogram::BucketUpperBound(int index) {
+  if (index < kSubBuckets) {
+    return static_cast<std::uint64_t>(index);
+  }
+  const int shift = index / kSubBuckets - 1;
+  const int sub = index % kSubBuckets + kSubBuckets;
+  return ((static_cast<std::uint64_t>(sub) + 1) << shift) - 1;
+}
+
+void Histogram::Record(std::uint64_t value) {
+  buckets_[static_cast<std::size_t>(BucketIndex(value))]++;
+  ++count_;
+  sum_ += value;
+  if (value < min_) {
+    min_ = value;
+  }
+  if (value > max_) {
+    max_ = value;
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ > 0) {
+    if (other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (other.max_ > max_) {
+      max_ = other.max_;
+    }
+  }
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  CCKVS_DCHECK(q >= 0.0 && q <= 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen >= target) {
+      return BucketUpperBound(i) < max_ ? BucketUpperBound(i) : max_;
+    }
+  }
+  return max_;
+}
+
+}  // namespace cckvs

@@ -1,0 +1,51 @@
+// Latency histogram with HDR-style log-linear buckets.
+//
+// Used by the simulator's client sessions to produce the average / 95th-percentile
+// latency series of Figure 13c.  Values are recorded in nanoseconds; relative
+// quantization error is bounded by 1/kSubBuckets.
+
+#ifndef CCKVS_COMMON_HISTOGRAM_H_
+#define CCKVS_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cckvs {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(std::uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double Mean() const;
+
+  // q in [0, 1]; returns an upper bound of the bucket containing the quantile.
+  std::uint64_t Quantile(double q) const;
+  std::uint64_t P50() const { return Quantile(0.50); }
+  std::uint64_t P95() const { return Quantile(0.95); }
+  std::uint64_t P99() const { return Quantile(0.99); }
+
+ private:
+  static constexpr int kSubBucketBits = 6;  // 64 sub-buckets per power of two
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kBucketCount = (64 - kSubBucketBits) * kSubBuckets;
+
+  static int BucketIndex(std::uint64_t value);
+  static std::uint64_t BucketUpperBound(int index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace cckvs
+
+#endif  // CCKVS_COMMON_HISTOGRAM_H_

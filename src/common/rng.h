@@ -1,0 +1,88 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in the repository that needs randomness draws from Rng so that every
+// experiment is reproducible from a single seed.  The generator is xoshiro256++
+// (Blackman & Vigna), seeded via SplitMix64.
+
+#ifndef CCKVS_COMMON_RNG_H_
+#define CCKVS_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "src/common/check.h"
+
+namespace cckvs {
+
+// SplitMix64 step; also useful on its own as a cheap stateless mixer.
+inline std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256++ generator.  Not thread-safe; give each simulated entity its own
+// instance (derived deterministically from the experiment seed).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedull) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound).  bound must be > 0.  Uses Lemire's multiply-shift
+  // rejection method to avoid modulo bias.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    CCKVS_DCHECK(bound > 0);
+    std::uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli draw with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  // Derives an independent child generator (for per-node / per-session streams).
+  Rng Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ull); }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace cckvs
+
+#endif  // CCKVS_COMMON_RNG_H_

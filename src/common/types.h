@@ -1,0 +1,63 @@
+// Core value types shared by every ccKVS module.
+//
+// The sizes mirror the paper's metadata layout (§6.2): 8 B keys, a 4 B Lamport
+// clock ("version") and a 1 B writer id together form the Lamport timestamp used
+// by both consistency protocols.
+
+#ifndef CCKVS_COMMON_TYPES_H_
+#define CCKVS_COMMON_TYPES_H_
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace cckvs {
+
+// Keys are 8 bytes, as in the paper's evaluation (§7.2).
+using Key = std::uint64_t;
+
+// Values are opaque byte strings (40 B to 1 KB in the paper's experiments).
+using Value = std::string;
+
+// Node (server/machine) identifier.  One byte, like the paper's writer id.
+using NodeId = std::uint8_t;
+
+// A client session (§5.1).  Sessions issue gets/puts in session order.
+using SessionId = std::uint32_t;
+
+// Simulated time in nanoseconds.
+using SimTime = std::uint64_t;
+
+// Lamport timestamp: logical clock plus writer id as the tie-breaker (§5.2).
+// Total order: compare clocks first, then writer ids.
+struct Timestamp {
+  std::uint32_t clock = 0;
+  NodeId writer = 0;
+
+  friend auto operator<=>(const Timestamp& a, const Timestamp& b) {
+    if (auto c = a.clock <=> b.clock; c != 0) {
+      return c;
+    }
+    return a.writer <=> b.writer;
+  }
+  friend bool operator==(const Timestamp&, const Timestamp&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Timestamp& ts) {
+  return os << ts.clock << ":" << static_cast<int>(ts.writer);
+}
+
+// Operation kind for requests flowing through the system.
+enum class OpType : std::uint8_t {
+  kGet,
+  kPut,
+};
+
+inline const char* ToString(OpType op) {
+  return op == OpType::kGet ? "GET" : "PUT";
+}
+
+}  // namespace cckvs
+
+#endif  // CCKVS_COMMON_TYPES_H_

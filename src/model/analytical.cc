@@ -1,0 +1,58 @@
+#include "src/model/analytical.h"
+
+#include "src/common/check.h"
+
+namespace cckvs {
+namespace {
+
+double RemoteFraction(int n) { return 1.0 - 1.0 / static_cast<double>(n); }
+
+double MrpsFromTraffic(const ModelParams& p, double bytes_per_request) {
+  // BW [Gb/s] -> bytes/s = BW * 1e9 / 8; throughput = N * BW / bytes-per-request.
+  const double bytes_per_second = p.bw_gbps * 1e9 / 8.0;
+  const double per_server = bytes_per_second / bytes_per_request;
+  return static_cast<double>(p.num_servers) * per_server / 1e6;
+}
+
+}  // namespace
+
+double TrafficCacheMissBytes(const ModelParams& p) {
+  CCKVS_CHECK_GE(p.num_servers, 1);
+  return (1.0 - p.hit_ratio) * RemoteFraction(p.num_servers) * p.b_rr;  // eq (1)
+}
+
+double TrafficLinBytes(const ModelParams& p) {
+  return p.hit_ratio * p.write_ratio * (p.num_servers - 1) * p.b_lin;  // eq (2)
+}
+
+double TrafficScBytes(const ModelParams& p) {
+  return p.hit_ratio * p.write_ratio * (p.num_servers - 1) * p.b_sc;  // eq (4)
+}
+
+double TrafficUniformBytes(const ModelParams& p) {
+  return RemoteFraction(p.num_servers) * p.b_rr;  // eq (6)
+}
+
+double ThroughputLinMrps(const ModelParams& p) {
+  return MrpsFromTraffic(p, TrafficCacheMissBytes(p) + TrafficLinBytes(p));  // eq (3)
+}
+
+double ThroughputScMrps(const ModelParams& p) {
+  return MrpsFromTraffic(p, TrafficCacheMissBytes(p) + TrafficScBytes(p));  // eq (5)
+}
+
+double ThroughputUniformMrps(const ModelParams& p) {
+  return MrpsFromTraffic(p, TrafficUniformBytes(p));  // eq (7)
+}
+
+double BreakEvenWriteRatioSc(const ModelParams& p) {
+  // T_U = T_SC  =>  (1-1/N) B_RR = (1-h)(1-1/N) B_RR + h w (N-1) B_SC
+  //             =>  w = B_RR / (N B_SC); h cancels.
+  return p.b_rr / (static_cast<double>(p.num_servers) * p.b_sc);
+}
+
+double BreakEvenWriteRatioLin(const ModelParams& p) {
+  return p.b_rr / (static_cast<double>(p.num_servers) * p.b_lin);
+}
+
+}  // namespace cckvs

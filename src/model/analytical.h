@@ -1,0 +1,56 @@
+// The paper's analytical performance model (§8.7, substrate S13).
+//
+// ccKVS is network-bound, so throughput is the available per-server network
+// bandwidth divided by the traffic a request generates:
+//
+//   (1) TR_CM  = (1-h) (1-1/N) B_RR          cache-miss traffic per request
+//   (2) TR_Lin = h w (N-1) B_Lin             Lin consistency traffic per request
+//   (3) T_Lin  = N BW / (TR_CM + TR_Lin)
+//   (4) TR_SC  = h w (N-1) B_SC              SC consistency traffic per request
+//   (5) T_SC   = N BW / (TR_CM + TR_SC)
+//   (6) TR_U   = (1-1/N) B_RR                Uniform traffic per request
+//   (7) T_U    = N BW / TR_U
+//
+// §8.7.2 defines the break-even write ratio: the w at which ccKVS throughput
+// equals Uniform.  Setting (7)=(5) (resp. (3)) and solving gives the closed
+// forms implemented here; note they are independent of the hit ratio h.
+//
+// Defaults reproduce the paper's validation setup: h = 0.65, B_RR = 113 B,
+// B_SC = 83 B, B_Lin = 183 B, BW = 21.5 Gb/s (the measured small-packet
+// effective bandwidth, §8.4).
+
+#ifndef CCKVS_MODEL_ANALYTICAL_H_
+#define CCKVS_MODEL_ANALYTICAL_H_
+
+#include <cstdint>
+
+namespace cckvs {
+
+struct ModelParams {
+  int num_servers = 9;       // N
+  double hit_ratio = 0.65;   // h (Figure 3 at alpha=0.99, 0.1% cache)
+  double write_ratio = 0.01; // w
+  double bw_gbps = 21.5;     // BW: effective per-server network bandwidth
+  double b_rr = 113.0;       // bytes: remote request + response
+  double b_sc = 83.0;        // bytes: one SC update
+  double b_lin = 183.0;      // bytes: invalidation + ack + update
+};
+
+// Traffic per request, in bytes (equations 1, 2, 4, 6).
+double TrafficCacheMissBytes(const ModelParams& p);
+double TrafficLinBytes(const ModelParams& p);
+double TrafficScBytes(const ModelParams& p);
+double TrafficUniformBytes(const ModelParams& p);
+
+// System throughput, in million requests per second (equations 3, 5, 7).
+double ThroughputLinMrps(const ModelParams& p);
+double ThroughputScMrps(const ModelParams& p);
+double ThroughputUniformMrps(const ModelParams& p);
+
+// Break-even write ratios (§8.7.2): w* = B_RR / (N * B_proto).
+double BreakEvenWriteRatioSc(const ModelParams& p);
+double BreakEvenWriteRatioLin(const ModelParams& p);
+
+}  // namespace cckvs
+
+#endif  // CCKVS_MODEL_ANALYTICAL_H_

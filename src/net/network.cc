@@ -1,0 +1,137 @@
+#include "src/net/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace cckvs {
+
+NetworkStats::NetworkStats(int num_nodes)
+    : tx_bytes_(static_cast<std::size_t>(num_nodes), 0),
+      rx_bytes_(static_cast<std::size_t>(num_nodes), 0) {}
+
+void NetworkStats::OnDelivered(const Packet& p) {
+  auto& c = per_class_[static_cast<int>(p.cls)];
+  c.packets += 1;
+  c.header_bytes += p.header_bytes;
+  c.payload_bytes += p.payload_bytes;
+  tx_bytes_[p.src] += p.wire_bytes();
+  rx_bytes_[p.dst] += p.wire_bytes();
+}
+
+std::uint64_t NetworkStats::packets(TrafficClass cls) const {
+  return per_class_[static_cast<int>(cls)].packets;
+}
+std::uint64_t NetworkStats::header_bytes(TrafficClass cls) const {
+  return per_class_[static_cast<int>(cls)].header_bytes;
+}
+std::uint64_t NetworkStats::payload_bytes(TrafficClass cls) const {
+  return per_class_[static_cast<int>(cls)].payload_bytes;
+}
+std::uint64_t NetworkStats::total_bytes(TrafficClass cls) const {
+  const auto& c = per_class_[static_cast<int>(cls)];
+  return c.header_bytes + c.payload_bytes;
+}
+std::uint64_t NetworkStats::total_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& c : per_class_) {
+    sum += c.header_bytes + c.payload_bytes;
+  }
+  return sum;
+}
+std::uint64_t NetworkStats::total_packets() const {
+  std::uint64_t sum = 0;
+  for (const auto& c : per_class_) {
+    sum += c.packets;
+  }
+  return sum;
+}
+
+void NetworkStats::Reset() {
+  for (auto& c : per_class_) {
+    c = ClassCounters{};
+  }
+  std::fill(tx_bytes_.begin(), tx_bytes_.end(), 0);
+  std::fill(rx_bytes_.begin(), rx_bytes_.end(), 0);
+}
+
+Network::Network(Simulator* sim, const NetConfig& config)
+    : sim_(sim),
+      config_(config),
+      stats_(config.num_nodes),
+      tx_wire_(static_cast<std::size_t>(config.num_nodes)),
+      port_in_(static_cast<std::size_t>(config.num_nodes)),
+      port_out_(static_cast<std::size_t>(config.num_nodes)),
+      rx_wire_(static_cast<std::size_t>(config.num_nodes)),
+      deliver_(static_cast<std::size_t>(config.num_nodes)) {
+  CCKVS_CHECK_GE(config.num_nodes, 2);
+  CCKVS_CHECK_GT(config.link_gbps, 0.0);
+  CCKVS_CHECK_GT(config.switch_mpps, 0.0);
+  CCKVS_CHECK_GT(config.nic_mpps, 0.0);
+  ns_per_byte_ = 8.0 / config.link_gbps;  // Gb/s -> ns per byte
+  port_ns_ = static_cast<SimTime>(std::llround(1000.0 / config.switch_mpps));
+  nic_gap_ns_ = static_cast<SimTime>(std::llround(1000.0 / config.nic_mpps));
+}
+
+void Network::SetDeliverHandler(NodeId node, DeliverFn fn) {
+  deliver_[node] = std::move(fn);
+}
+
+SimTime Network::WireTime(std::uint32_t bytes) const {
+  return static_cast<SimTime>(std::llround(ns_per_byte_ * bytes));
+}
+
+SimTime Network::PortTime() const { return port_ns_; }
+
+SimTime Network::RouteThroughFabric(const Packet& packet, SimTime tx_done) {
+  SimTime t = tx_done;
+  if (config_.through_switch) {
+    t = port_in_[packet.src].Pass(t, port_ns_);
+    t = port_out_[packet.dst].Pass(t, port_ns_);
+  }
+  t = rx_wire_[packet.dst].Pass(t, WireCost(packet.wire_bytes()));
+  return t + config_.propagation_ns;
+}
+
+void Network::ScheduleDelivery(const Packet& packet, SimTime at) {
+  CCKVS_CHECK(deliver_[packet.dst] != nullptr);
+  sim_->At(at, [this, packet]() {
+    stats_.OnDelivered(packet);
+    deliver_[packet.dst](packet);
+  });
+}
+
+SimTime Network::Send(const Packet& packet) {
+  CCKVS_DCHECK(packet.src != packet.dst);
+  const SimTime tx_done =
+      tx_wire_[packet.src].Pass(sim_->now(), WireCost(packet.wire_bytes()));
+  const SimTime delivered = RouteThroughFabric(packet, tx_done);
+  ScheduleDelivery(packet, delivered);
+  return delivered;
+}
+
+void Network::SendMulticast(const Packet& packet, const std::vector<NodeId>& dsts) {
+  CCKVS_CHECK(config_.through_switch);
+  // One TX serialization and one ingress-port traversal, then per-destination
+  // replication at the egress ports (§6.3: "the sender node transmits a single
+  // message to the switch and the switch propagates it to all recipients").
+  const SimTime tx_done =
+      tx_wire_[packet.src].Pass(sim_->now(), WireCost(packet.wire_bytes()));
+  const SimTime ingress_done = port_in_[packet.src].Pass(tx_done, port_ns_);
+  const auto replicated_port_ns = static_cast<SimTime>(
+      static_cast<double>(port_ns_) * config_.multicast_copy_overhead);
+  for (const NodeId dst : dsts) {
+    if (dst == packet.src) {
+      continue;
+    }
+    Packet copy = packet;
+    copy.dst = dst;
+    SimTime t = port_out_[dst].Pass(ingress_done, replicated_port_ns);
+    t = rx_wire_[dst].Pass(t, WireCost(copy.wire_bytes()));
+    ScheduleDelivery(copy, t + config_.propagation_ns);
+  }
+}
+
+}  // namespace cckvs

@@ -1,0 +1,84 @@
+// Credit-based flow control (§6.3, substrate S4).
+//
+// Two schemes, as in the paper:
+//
+//  * Implicit credits for request/response traffic: a cache thread holds credits
+//    per remote KVS peer and the response itself restores the credit, so no extra
+//    messages are needed.
+//  * Explicit credits for broadcast (consistency) traffic: updates/invalidations
+//    receive no response, so receivers send header-only credit-update messages.
+//    To keep that overhead trivial (Figure 11's "flow control" sliver), credit
+//    updates are batched: one is sent per `batch` received messages (§6.4).
+//
+// The receive-queue CHECK in src/rdma/verbs.cc is the correctness backstop: if
+// these credits were accounted wrongly, a posted-receive would run out and the
+// simulation would abort.
+
+#ifndef CCKVS_RDMA_FLOW_CONTROL_H_
+#define CCKVS_RDMA_FLOW_CONTROL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace cckvs {
+
+// Sender-side per-peer credit accounting.
+class CreditPool {
+ public:
+  CreditPool(int num_peers, int credits_per_peer)
+      : credits_(static_cast<std::size_t>(num_peers), credits_per_peer),
+        initial_(credits_per_peer) {}
+
+  bool TryAcquire(NodeId peer) {
+    if (credits_[peer] == 0) {
+      return false;
+    }
+    --credits_[peer];
+    return true;
+  }
+
+  void Release(NodeId peer, int n = 1) {
+    credits_[peer] += n;
+    CCKVS_CHECK_LE(credits_[peer], initial_);
+  }
+
+  int available(NodeId peer) const { return credits_[peer]; }
+  int initial() const { return initial_; }
+
+ private:
+  std::vector<int> credits_;
+  int initial_;
+};
+
+// Receiver-side batcher for explicit credit updates.
+class CreditUpdateBatcher {
+ public:
+  CreditUpdateBatcher(int num_peers, int batch)
+      : pending_(static_cast<std::size_t>(num_peers), 0), batch_(batch) {
+    CCKVS_CHECK_GE(batch, 1);
+  }
+
+  // Counts one received broadcast message from `peer`.  Returns true when a
+  // credit update restoring batch() credits should be sent back now.
+  bool OnReceived(NodeId peer) {
+    if (++pending_[peer] >= batch_) {
+      pending_[peer] = 0;
+      return true;
+    }
+    return false;
+  }
+
+  int batch() const { return batch_; }
+  int pending(NodeId peer) const { return pending_[peer]; }
+
+ private:
+  std::vector<int> pending_;
+  int batch_;
+};
+
+}  // namespace cckvs
+
+#endif  // CCKVS_RDMA_FLOW_CONTROL_H_

@@ -1,0 +1,87 @@
+// Flat little-endian serialization for RPC and consistency messages.
+//
+// Messages travel through the simulated fabric as byte buffers, exactly as they
+// would through a real UD send: senders serialize, receivers deserialize.  This
+// keeps the transport honest (sizes on the wire are real) and gives the tests a
+// natural round-trip property to check.
+
+#ifndef CCKVS_RDMA_SERIALIZE_H_
+#define CCKVS_RDMA_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace cckvs {
+
+using Buffer = std::vector<std::uint8_t>;
+
+class BufferWriter {
+ public:
+  explicit BufferWriter(Buffer* out) : out_(out) {}
+
+  void PutU8(std::uint8_t v) { out_->push_back(v); }
+  void PutU16(std::uint16_t v) { PutLe(v); }
+  void PutU32(std::uint32_t v) { PutLe(v); }
+  void PutU64(std::uint64_t v) { PutLe(v); }
+  void PutBytes(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out_->insert(out_->end(), p, p + len);
+  }
+  void PutString(const std::string& s) {
+    CCKVS_CHECK_LE(s.size(), 0xffffffffull);
+    PutU32(static_cast<std::uint32_t>(s.size()));
+    PutBytes(s.data(), s.size());
+  }
+
+ private:
+  template <typename T>
+  void PutLe(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      out_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Buffer* out_;
+};
+
+class BufferReader {
+ public:
+  explicit BufferReader(const Buffer& in) : in_(in) {}
+
+  std::uint8_t GetU8() { return GetLe<std::uint8_t>(); }
+  std::uint16_t GetU16() { return GetLe<std::uint16_t>(); }
+  std::uint32_t GetU32() { return GetLe<std::uint32_t>(); }
+  std::uint64_t GetU64() { return GetLe<std::uint64_t>(); }
+  std::string GetString() {
+    const std::uint32_t len = GetU32();
+    CCKVS_CHECK_LE(pos_ + len, in_.size());
+    std::string s(reinterpret_cast<const char*>(in_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+  bool AtEnd() const { return pos_ == in_.size(); }
+  std::size_t remaining() const { return in_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T GetLe() {
+    CCKVS_CHECK_LE(pos_ + sizeof(T), in_.size());
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<T>(in_[pos_ + i]) << (8 * i));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const Buffer& in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cckvs
+
+#endif  // CCKVS_RDMA_SERIALIZE_H_

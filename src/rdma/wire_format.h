@@ -1,0 +1,60 @@
+// Wire-format sizing (§8.7 calibration).
+//
+// The analytical model in the paper plugs in measured message sizes including
+// network headers: B_RR = 113 B (request + response for 40 B values), B_SC = 83 B
+// (one SC update) and B_Lin = 183 B (invalidation + ack + update).  The component
+// sizes below reproduce those totals exactly:
+//
+//   header                31   (GRH + UD header + RPC framing)
+//   request payload       10   (8 B key + opcode + slot)           -> 41 B
+//   response payload   v + 1   (value + status)                    -> 72 B @ v=40
+//   update payload    v + 12   (8 B key + 4 B Lamport clock; the writer id is
+//                               implied by the packet source)      -> 83 B @ v=40
+//   invalidation/ack      19   (key + clock + writer + framing)    -> 50 B each
+//
+//   B_RR  = 41 + 72       = 113
+//   B_SC  = 83
+//   B_Lin = 50 + 50 + 83  = 183
+
+#ifndef CCKVS_RDMA_WIRE_FORMAT_H_
+#define CCKVS_RDMA_WIRE_FORMAT_H_
+
+#include <cstdint>
+
+namespace cckvs {
+
+struct WireFormat {
+  std::uint32_t header_bytes = 31;
+  std::uint32_t request_payload = 10;
+  std::uint32_t response_base_payload = 1;   // + value size
+  std::uint32_t update_base_payload = 12;    // + value size
+  std::uint32_t invalidation_payload = 19;
+  std::uint32_t ack_payload = 19;
+  std::uint32_t credit_update_payload = 0;   // header-only (§6.4)
+
+  std::uint32_t RequestWire() const { return header_bytes + request_payload; }
+  std::uint32_t ResponseWire(std::uint32_t value_bytes) const {
+    return header_bytes + response_base_payload + value_bytes;
+  }
+  std::uint32_t UpdateWire(std::uint32_t value_bytes) const {
+    return header_bytes + update_base_payload + value_bytes;
+  }
+  std::uint32_t InvalidationWire() const { return header_bytes + invalidation_payload; }
+  std::uint32_t AckWire() const { return header_bytes + ack_payload; }
+  std::uint32_t CreditUpdateWire() const {
+    return header_bytes + credit_update_payload;
+  }
+
+  // The B_* aggregates of §8.7.
+  std::uint32_t Brr(std::uint32_t value_bytes) const {
+    return RequestWire() + ResponseWire(value_bytes);
+  }
+  std::uint32_t Bsc(std::uint32_t value_bytes) const { return UpdateWire(value_bytes); }
+  std::uint32_t Blin(std::uint32_t value_bytes) const {
+    return InvalidationWire() + AckWire() + UpdateWire(value_bytes);
+  }
+};
+
+}  // namespace cckvs
+
+#endif  // CCKVS_RDMA_WIRE_FORMAT_H_

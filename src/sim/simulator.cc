@@ -1,0 +1,93 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+namespace cckvs {
+
+void Simulator::At(SimTime t, EventFn fn) {
+  CCKVS_DCHECK(fn != nullptr);
+  CCKVS_CHECK_GE(t, now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::PopAndRun() {
+  // The queue stores const refs through top(); move the handler out via a copy of
+  // the wrapper to keep the hot path allocation-light for small closures.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ev.fn();
+  return !stopped_;
+}
+
+std::uint64_t Simulator::Run() {
+  stopped_ = false;
+  std::uint64_t executed = 0;
+  while (!queue_.empty()) {
+    ++executed;
+    if (!PopAndRun()) {
+      break;
+    }
+  }
+  return executed;
+}
+
+std::uint64_t Simulator::RunUntil(SimTime until) {
+  stopped_ = false;
+  std::uint64_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= until) {
+    ++executed;
+    if (!PopAndRun()) {
+      return executed;
+    }
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+  return executed;
+}
+
+ServicePool::ServicePool(Simulator* sim, int servers)
+    : sim_(sim), servers_(servers) {
+  CCKVS_CHECK_GE(servers, 1);
+}
+
+void ServicePool::Submit(SimTime service_ns, Simulator::EventFn on_done) {
+  if (busy_ < servers_) {
+    StartJob(Job{service_ns, std::move(on_done)});
+  } else {
+    queue_.push(Job{service_ns, std::move(on_done)});
+  }
+}
+
+void ServicePool::StartJob(Job job) {
+  ++busy_;
+  busy_time_ += job.service_ns;
+  auto done = std::move(job.on_done);
+  sim_->After(job.service_ns,
+              [this, fn = std::move(done)]() mutable { FinishJob(std::move(fn)); });
+}
+
+void ServicePool::FinishJob(Simulator::EventFn on_done) {
+  --busy_;
+  ++completed_;
+  if (!queue_.empty()) {
+    Job next = std::move(queue_.front());
+    queue_.pop();
+    StartJob(std::move(next));
+  }
+  if (on_done != nullptr) {
+    on_done();
+  }
+}
+
+double ServicePool::Utilization() const {
+  const SimTime elapsed = sim_->now();
+  if (elapsed == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(busy_time_) /
+         (static_cast<double>(servers_) * static_cast<double>(elapsed));
+}
+
+}  // namespace cckvs

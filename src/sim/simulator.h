@@ -1,0 +1,115 @@
+// Deterministic discrete-event simulation engine (substrate S1).
+//
+// The rack experiments of the paper run on 9 physical servers; here the servers,
+// their NICs and the switch are actors scheduled by this engine.  Determinism is
+// total: identical seeds and configs yield identical event interleavings, which is
+// what makes the protocol integration tests and the EXPERIMENTS.md numbers
+// reproducible bit-for-bit.
+
+#ifndef CCKVS_SIM_SIMULATOR_H_
+#define CCKVS_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace cckvs {
+
+class Simulator {
+ public:
+  using EventFn = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` at absolute time `t` (>= now).  Events scheduled for the same
+  // time run in scheduling order (stable tie-break by sequence number).
+  void At(SimTime t, EventFn fn);
+
+  // Schedules `fn` `delay` nanoseconds from now.
+  void After(SimTime delay, EventFn fn) { At(now_ + delay, std::move(fn)); }
+
+  // Runs events until the queue drains or Stop() is called.  Returns the number
+  // of events executed.
+  std::uint64_t Run();
+
+  // Runs events with timestamp <= `until`; the clock ends at `until` even if the
+  // queue drained earlier.  Returns the number of events executed.
+  std::uint64_t RunUntil(SimTime until);
+
+  // Makes Run()/RunUntil() return after the current event finishes.
+  void Stop() { stopped_ = true; }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  bool PopAndRun();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+// A pool of `servers` identical servers with a shared FIFO queue, the building
+// block for modelling CPU thread pools ("cache threads" and "KVS threads" of
+// §6.2).  Jobs are served in submission order as servers free up; each job holds
+// a server for its service time, then its completion callback runs.
+class ServicePool {
+ public:
+  ServicePool(Simulator* sim, int servers);
+
+  // Enqueues a job with the given service time.  on_done may be null.
+  void Submit(SimTime service_ns, Simulator::EventFn on_done);
+
+  int servers() const { return servers_; }
+  int busy() const { return busy_; }
+  std::size_t queued() const { return queue_.size(); }
+  std::uint64_t completed() const { return completed_; }
+  SimTime busy_time() const { return busy_time_; }
+
+  // Fraction of capacity used over [0, now]: busy_time / (servers * now).
+  double Utilization() const;
+
+ private:
+  struct Job {
+    SimTime service_ns;
+    Simulator::EventFn on_done;
+  };
+
+  void StartJob(Job job);
+  void FinishJob(Simulator::EventFn on_done);
+
+  Simulator* sim_;
+  int servers_;
+  int busy_ = 0;
+  std::uint64_t completed_ = 0;
+  SimTime busy_time_ = 0;
+  std::queue<Job> queue_;
+};
+
+}  // namespace cckvs
+
+#endif  // CCKVS_SIM_SIMULATOR_H_

@@ -1,0 +1,309 @@
+#include "src/store/partition.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/common/hash.h"
+
+namespace cckvs {
+namespace {
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+Partition::Partition(const PartitionConfig& config)
+    : config_(config),
+      bucket_mask_(RoundUpPow2(config.buckets < 2 ? 2 : config.buckets) - 1),
+      buckets_(bucket_mask_ + 1) {}
+
+Partition::~Partition() = default;
+
+Partition::Bucket& Partition::HomeBucket(Key key) const {
+  const std::uint64_t h = HashKey(key);
+  return const_cast<Bucket&>(buckets_[h & bucket_mask_]);
+}
+
+std::uint16_t Partition::TagOf(std::uint64_t hash) const {
+  // Never 0 so that a zeroed slot cannot alias a real tag.
+  const auto tag = static_cast<std::uint16_t>(hash >> 48);
+  return tag == 0 ? 1 : tag;
+}
+
+Partition::Bucket* Partition::OverflowBucket(std::uint32_t idx) const {
+  const std::uint32_t chunk = idx / kOverflowChunkSize;
+  if (chunk >= kMaxOverflowChunks) {
+    return nullptr;  // torn read of the overflow index
+  }
+  Bucket* base = overflow_chunks_[chunk].load(std::memory_order_acquire);
+  if (base == nullptr) {
+    return nullptr;
+  }
+  return base + idx % kOverflowChunkSize;
+}
+
+void Partition::WriteRecord(SlabAllocator::Ref ref, Key key, const Value& value,
+                            Timestamp ts) {
+  char* data = slab_.Data(ref);
+  RecordHeader hdr;
+  hdr.key = key;
+  hdr.clock = ts.clock;
+  hdr.len = static_cast<std::uint32_t>(value.size());
+  hdr.writer = ts.writer;
+  std::memcpy(data, &hdr, sizeof(hdr));
+  std::memcpy(data + sizeof(hdr), value.data(), value.size());
+}
+
+bool Partition::Get(Key key, Value* value, Timestamp* ts) const {
+  gets_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t h = HashKey(key);
+  const std::uint16_t tag = TagOf(h);
+  const Bucket& head = buckets_[h & bucket_mask_];
+
+  while (true) {
+    const std::uint32_t version = head.lock.ReadBegin();
+    bool found = false;
+    Timestamp found_ts{};
+    const Bucket* bucket = &head;
+    while (bucket != nullptr && !found) {
+      for (const Slot& slot : bucket->slots) {
+        if (slot.used == 0 || slot.tag != tag) {
+          continue;
+        }
+        const char* data = slab_.TryData(slot.ref);
+        if (data == nullptr) {
+          break;  // torn ref; the retry check below sorts it out
+        }
+        RecordHeader hdr;
+        std::memcpy(&hdr, data, sizeof(hdr));
+        if (hdr.key != key) {
+          continue;  // tag collision
+        }
+        const std::size_t capacity =
+            SlabAllocator::ClassBytes(slot.ref.cls) - sizeof(RecordHeader);
+        const std::size_t len = hdr.len <= capacity ? hdr.len : capacity;
+        if (value != nullptr) {
+          value->assign(data + sizeof(hdr), len);
+        }
+        found_ts = Timestamp{hdr.clock, hdr.writer};
+        found = true;
+        break;
+      }
+      if (!found) {
+        const std::uint32_t next = bucket->overflow;
+        bucket = next == kNoOverflow ? nullptr : OverflowBucket(next);
+      }
+    }
+    if (head.lock.ReadRetry(version)) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (found) {
+      if (ts != nullptr) {
+        *ts = found_ts;
+      }
+      return true;
+    }
+    break;
+  }
+
+  if (config_.synthesize) {
+    synthesized_.fetch_add(1, std::memory_order_relaxed);
+    if (value != nullptr) {
+      *value = config_.synthesize(key);
+    }
+    if (ts != nullptr) {
+      *ts = Timestamp{};
+    }
+    return true;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+Partition::Slot* Partition::FindSlot(Bucket& head, Key key, std::uint16_t tag) {
+  Bucket* bucket = &head;
+  while (bucket != nullptr) {
+    for (Slot& slot : bucket->slots) {
+      if (slot.used != 0 && slot.tag == tag) {
+        const char* data = slab_.Data(slot.ref);
+        RecordHeader hdr;
+        std::memcpy(&hdr, data, sizeof(hdr));
+        if (hdr.key == key) {
+          return &slot;
+        }
+      }
+    }
+    bucket = bucket->overflow == kNoOverflow ? nullptr : OverflowBucket(bucket->overflow);
+  }
+  return nullptr;
+}
+
+Partition::Slot* Partition::FreeSlot(Bucket& head) {
+  Bucket* bucket = &head;
+  while (true) {
+    for (Slot& slot : bucket->slots) {
+      if (slot.used == 0) {
+        return &slot;
+      }
+    }
+    if (bucket->overflow == kNoOverflow) {
+      // Extend the chain.  Allocation is serialized by overflow_mu_; linking is
+      // covered by the head bucket's writer lock held by our caller.
+      std::lock_guard<std::mutex> lock(overflow_mu_);
+      const std::uint32_t idx = overflow_count_.fetch_add(1, std::memory_order_relaxed);
+      const std::uint32_t chunk = idx / kOverflowChunkSize;
+      CCKVS_CHECK_LT(chunk, kMaxOverflowChunks);
+      if (chunk >= overflow_owned_.size()) {
+        overflow_owned_.push_back(std::make_unique<Bucket[]>(kOverflowChunkSize));
+        overflow_chunks_[chunk].store(overflow_owned_.back().get(),
+                                      std::memory_order_release);
+      }
+      bucket->overflow = idx;
+      return &OverflowBucket(idx)->slots[0];
+    }
+    bucket = OverflowBucket(bucket->overflow);
+  }
+}
+
+Timestamp Partition::Put(Key key, const Value& value) {
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t h = HashKey(key);
+  const std::uint16_t tag = TagOf(h);
+  Bucket& head = buckets_[h & bucket_mask_];
+  SeqlockWriteGuard guard(head.lock);
+  Slot* slot = FindSlot(head, key, tag);
+  Timestamp ts;
+  if (slot != nullptr) {
+    RecordHeader hdr;
+    std::memcpy(&hdr, slab_.Data(slot->ref), sizeof(hdr));
+    ts = Timestamp{hdr.clock + 1, config_.node_id};
+    const int needed_cls = SlabAllocator::ClassFor(sizeof(RecordHeader) + value.size());
+    if (needed_cls == slot->ref.cls) {
+      WriteRecord(slot->ref, key, value, ts);
+    } else {
+      const SlabAllocator::Ref fresh =
+          slab_.Allocate(sizeof(RecordHeader) + value.size());
+      WriteRecord(fresh, key, value, ts);
+      const SlabAllocator::Ref old = slot->ref;
+      slot->ref = fresh;
+      slab_.Free(old);
+    }
+    return ts;
+  }
+  ts = Timestamp{1, config_.node_id};
+  slot = FreeSlot(head);
+  const SlabAllocator::Ref ref = slab_.Allocate(sizeof(RecordHeader) + value.size());
+  WriteRecord(ref, key, value, ts);
+  slot->ref = ref;
+  slot->tag = tag;
+  slot->used = 1;
+  live_records_.fetch_add(1, std::memory_order_relaxed);
+  return ts;
+}
+
+bool Partition::Apply(Key key, const Value& value, Timestamp ts) {
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t h = HashKey(key);
+  const std::uint16_t tag = TagOf(h);
+  Bucket& head = buckets_[h & bucket_mask_];
+  SeqlockWriteGuard guard(head.lock);
+  Slot* slot = FindSlot(head, key, tag);
+  if (slot != nullptr) {
+    RecordHeader hdr;
+    std::memcpy(&hdr, slab_.Data(slot->ref), sizeof(hdr));
+    if (Timestamp{hdr.clock, hdr.writer} >= ts) {
+      stale_applies_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    const int needed_cls = SlabAllocator::ClassFor(sizeof(RecordHeader) + value.size());
+    if (needed_cls == slot->ref.cls) {
+      WriteRecord(slot->ref, key, value, ts);
+    } else {
+      const SlabAllocator::Ref fresh =
+          slab_.Allocate(sizeof(RecordHeader) + value.size());
+      WriteRecord(fresh, key, value, ts);
+      const SlabAllocator::Ref old = slot->ref;
+      slot->ref = fresh;
+      slab_.Free(old);
+    }
+    return true;
+  }
+  slot = FreeSlot(head);
+  const SlabAllocator::Ref ref = slab_.Allocate(sizeof(RecordHeader) + value.size());
+  WriteRecord(ref, key, value, ts);
+  slot->ref = ref;
+  slot->tag = tag;
+  slot->used = 1;
+  live_records_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Partition::Erase(Key key) {
+  const std::uint64_t h = HashKey(key);
+  const std::uint16_t tag = TagOf(h);
+  Bucket& head = buckets_[h & bucket_mask_];
+  SeqlockWriteGuard guard(head.lock);
+  Slot* slot = FindSlot(head, key, tag);
+  if (slot == nullptr) {
+    return false;
+  }
+  slot->used = 0;
+  slab_.Free(slot->ref);
+  live_records_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool Partition::Contains(Key key) const {
+  const std::uint64_t h = HashKey(key);
+  const std::uint16_t tag = TagOf(h);
+  const Bucket& head = buckets_[h & bucket_mask_];
+  while (true) {
+    const std::uint32_t version = head.lock.ReadBegin();
+    bool found = false;
+    const Bucket* bucket = &head;
+    while (bucket != nullptr && !found) {
+      for (const Slot& slot : bucket->slots) {
+        if (slot.used != 0 && slot.tag == tag) {
+          const char* data = slab_.TryData(slot.ref);
+          if (data == nullptr) {
+            break;
+          }
+          RecordHeader hdr;
+          std::memcpy(&hdr, data, sizeof(hdr));
+          if (hdr.key == key) {
+            found = true;
+            break;
+          }
+        }
+      }
+      if (!found) {
+        const std::uint32_t next = bucket->overflow;
+        bucket = next == kNoOverflow ? nullptr : OverflowBucket(next);
+      }
+    }
+    if (!head.lock.ReadRetry(version)) {
+      return found;
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+PartitionStats Partition::stats() const {
+  PartitionStats s;
+  s.gets = gets_.load(std::memory_order_relaxed);
+  s.puts = puts_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.synthesized_gets = synthesized_.load(std::memory_order_relaxed);
+  s.read_retries = retries_.load(std::memory_order_relaxed);
+  s.stale_applies = stale_applies_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace cckvs

@@ -1,0 +1,144 @@
+// MICA-derived key-value partition (substrate S5, §6.2).
+//
+// Each ccKVS node holds one shard of the dataset in a structure of this shape:
+// a set-associative bucket index guarded by per-bucket seqlocks, with records in
+// a slab allocator.  Under CRCW every KVS thread may touch any bucket (the
+// paper's choice, "we implement seqlocks over MICA"); under EREW the cckvs layer
+// instantiates one Partition per thread instead, so this class stays agnostic.
+//
+// Read path: lock-free seqlock copy-out with retry.  Write path: per-bucket
+// writer spinlock (the odd seqlock phase).
+//
+// Lazy materialization: the paper's experiments address 250 M keys.  A synthetic
+// default-value function lets GETs of never-written keys answer without
+// materializing 250 M records; PUTs always materialize.
+
+#ifndef CCKVS_STORE_PARTITION_H_
+#define CCKVS_STORE_PARTITION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/store/seqlock.h"
+#include "src/store/slab.h"
+
+namespace cckvs {
+
+struct PartitionConfig {
+  // Number of index buckets (rounded up to a power of two); each holds
+  // kWays entries plus overflow chaining.
+  std::size_t buckets = 1 << 16;
+  // Writer id stamped on plain Put()s (normally the owning node id).
+  NodeId node_id = 0;
+  // Optional synthesizer: value for keys that were never written.  When set, a
+  // GET miss returns Synthesize(key) with a zero timestamp instead of failing.
+  std::function<Value(Key)> synthesize;
+};
+
+struct PartitionStats {
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t misses = 0;            // GET of absent key, no synthesizer
+  std::uint64_t synthesized_gets = 0;  // GET of absent key served synthetically
+  std::uint64_t read_retries = 0;      // seqlock retry loops taken
+  std::uint64_t stale_applies = 0;     // Apply() rejected by timestamp
+};
+
+class Partition {
+ public:
+  explicit Partition(const PartitionConfig& config);
+  ~Partition();
+  Partition(const Partition&) = delete;
+  Partition& operator=(const Partition&) = delete;
+
+  // Lock-free read.  On hit copies the value (and timestamp if requested) and
+  // returns true.  On miss: synthesizes if configured, else returns false.
+  bool Get(Key key, Value* value, Timestamp* ts = nullptr) const;
+
+  // Plain client write at the home node: monotonically bumps the record's
+  // Lamport clock and stamps the configured node id.  Returns the timestamp the
+  // write got.
+  Timestamp Put(Key key, const Value& value);
+
+  // Timestamped apply, used by write-back flushes from the symmetric cache and
+  // by recovery paths: installs (value, ts) iff ts is newer than the stored
+  // timestamp (or the key is absent).  Returns true when applied.
+  bool Apply(Key key, const Value& value, Timestamp ts);
+
+  // Removes the key.  Returns true if it was present.
+  bool Erase(Key key);
+
+  bool Contains(Key key) const;
+  std::size_t size() const { return live_records_.load(std::memory_order_relaxed); }
+
+  PartitionStats stats() const;
+
+ private:
+  static constexpr int kWays = 7;
+  static constexpr std::uint32_t kNoOverflow = 0xffffffffu;
+
+  // One index slot; 8 bytes, safe to read torn under the bucket seqlock.
+  struct Slot {
+    std::uint16_t tag = 0;
+    std::uint8_t used = 0;
+    SlabAllocator::Ref ref;
+  };
+
+  struct Bucket {
+    Seqlock lock;
+    std::uint32_t overflow = kNoOverflow;  // index into overflow_ or kNoOverflow
+    Slot slots[kWays];
+  };
+
+  // Record layout inside a slab slot: header then value bytes.
+  struct RecordHeader {
+    Key key;
+    std::uint32_t clock;
+    std::uint32_t len;
+    NodeId writer;
+  };
+
+  Bucket& HomeBucket(Key key) const;
+  std::uint16_t TagOf(std::uint64_t hash) const;
+
+  // Walks bucket + overflow chain; returns the slot holding `key` or nullptr.
+  // Writer-side only (called under the bucket lock).
+  Slot* FindSlot(Bucket& head, Key key, std::uint16_t tag);
+  // Finds a free slot in the chain, extending it if needed.
+  Slot* FreeSlot(Bucket& head);
+
+  void WriteRecord(SlabAllocator::Ref ref, Key key, const Value& value, Timestamp ts);
+
+  PartitionConfig config_;
+  std::size_t bucket_mask_;
+  std::vector<Bucket> buckets_;
+  // Overflow buckets; grown under overflow_mu_, pointers resolved through a
+  // fixed atomic array (same pattern as the slab chunks).
+  static constexpr std::uint32_t kMaxOverflowChunks = 1024;
+  static constexpr std::uint32_t kOverflowChunkSize = 256;
+  std::vector<std::unique_ptr<Bucket[]>> overflow_owned_;
+  std::atomic<Bucket*> overflow_chunks_[kMaxOverflowChunks] = {};
+  std::atomic<std::uint32_t> overflow_count_{0};
+  mutable std::mutex overflow_mu_;
+
+  SlabAllocator slab_;
+  std::atomic<std::size_t> live_records_{0};
+
+  mutable std::atomic<std::uint64_t> gets_{0};
+  mutable std::atomic<std::uint64_t> puts_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> synthesized_{0};
+  mutable std::atomic<std::uint64_t> retries_{0};
+  mutable std::atomic<std::uint64_t> stale_applies_{0};
+
+  Bucket* OverflowBucket(std::uint32_t idx) const;
+};
+
+}  // namespace cckvs
+
+#endif  // CCKVS_STORE_PARTITION_H_

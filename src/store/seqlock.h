@@ -1,0 +1,78 @@
+// Sequence locks (§6.2).
+//
+// ccKVS synchronizes CRCW access with seqlocks "which allow lock-free reads
+// without starving the writes" (Hemminger/Lameter-style, with the OPTIK-pattern
+// version check).  The writer side is a spinlock embedded in the same word; the
+// version is odd while a write is in flight.  Readers never write shared state:
+// they snapshot the version, copy data out, and retry if the version was odd or
+// changed — exactly the algorithm described in the paper.
+
+#ifndef CCKVS_STORE_SEQLOCK_H_
+#define CCKVS_STORE_SEQLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace cckvs {
+
+class Seqlock {
+ public:
+  Seqlock() = default;
+  Seqlock(const Seqlock&) = delete;
+  Seqlock& operator=(const Seqlock&) = delete;
+
+  // Reader protocol:
+  //   uint32_t v = lock.ReadBegin();
+  //   ... copy data out ...
+  //   if (lock.ReadRetry(v)) goto again;
+  std::uint32_t ReadBegin() const {
+    std::uint32_t v = seq_.load(std::memory_order_acquire);
+    while (v & 1u) {  // writer in flight: spin until it finishes
+      v = seq_.load(std::memory_order_acquire);
+    }
+    return v;
+  }
+
+  bool ReadRetry(std::uint32_t begin_version) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return seq_.load(std::memory_order_relaxed) != begin_version;
+  }
+
+  // Writer protocol: spin until the version is even and we win the CAS to make
+  // it odd; the odd version is the spinlock.
+  void WriteLock() {
+    std::uint32_t v = seq_.load(std::memory_order_relaxed);
+    while (true) {
+      if ((v & 1u) == 0 &&
+          seq_.compare_exchange_weak(v, v + 1, std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+        return;
+      }
+      v = seq_.load(std::memory_order_relaxed);
+    }
+  }
+
+  void WriteUnlock() { seq_.fetch_add(1, std::memory_order_release); }
+
+  // Current raw version (even = unlocked).
+  std::uint32_t version() const { return seq_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<std::uint32_t> seq_{0};
+};
+
+// RAII writer guard.
+class SeqlockWriteGuard {
+ public:
+  explicit SeqlockWriteGuard(Seqlock& lock) : lock_(lock) { lock_.WriteLock(); }
+  ~SeqlockWriteGuard() { lock_.WriteUnlock(); }
+  SeqlockWriteGuard(const SeqlockWriteGuard&) = delete;
+  SeqlockWriteGuard& operator=(const SeqlockWriteGuard&) = delete;
+
+ private:
+  Seqlock& lock_;
+};
+
+}  // namespace cckvs
+
+#endif  // CCKVS_STORE_SEQLOCK_H_

@@ -1,0 +1,99 @@
+#include "src/topk/space_saving.h"
+
+#include <algorithm>
+
+namespace cckvs {
+
+SpaceSaving::SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+  CCKVS_CHECK_GE(capacity, 1u);
+  heap_.reserve(capacity);
+  index_.reserve(capacity * 2);
+}
+
+void SpaceSaving::SwapNodes(std::size_t a, std::size_t b) {
+  std::swap(heap_[a], heap_[b]);
+  index_[heap_[a].key] = a;
+  index_[heap_[b].key] = b;
+}
+
+void SpaceSaving::SiftDown(std::size_t i) {
+  while (true) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    std::size_t smallest = i;
+    if (l < heap_.size() && Less(l, smallest)) {
+      smallest = l;
+    }
+    if (r < heap_.size() && Less(r, smallest)) {
+      smallest = r;
+    }
+    if (smallest == i) {
+      return;
+    }
+    SwapNodes(i, smallest);
+    i = smallest;
+  }
+}
+
+void SpaceSaving::SiftUp(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!Less(i, parent)) {
+      return;
+    }
+    SwapNodes(i, parent);
+    i = parent;
+  }
+}
+
+void SpaceSaving::Offer(Key key, std::uint64_t increment) {
+  stream_length_ += increment;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    heap_[it->second].count += increment;
+    SiftDown(it->second);
+    return;
+  }
+  if (heap_.size() < capacity_) {
+    heap_.push_back(Counter{key, increment, 0});
+    index_[key] = heap_.size() - 1;
+    SiftUp(heap_.size() - 1);
+    return;
+  }
+  // Evict the minimum counter: the newcomer inherits its count as error bound
+  // (the Space-Saving replacement rule).
+  Counter& victim = heap_[0];
+  index_.erase(victim.key);
+  const std::uint64_t floor = victim.count;
+  victim = Counter{key, floor + increment, floor};
+  index_[key] = 0;
+  SiftDown(0);
+}
+
+void SpaceSaving::DecayHalve() {
+  for (Counter& c : heap_) {
+    c.count /= 2;
+    c.error /= 2;
+  }
+  stream_length_ /= 2;
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::TopK(std::size_t k) const {
+  std::vector<Entry> entries;
+  entries.reserve(heap_.size());
+  for (const Counter& c : heap_) {
+    entries.push_back(Entry{c.key, c.count, c.error});
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) {
+      return a.count > b.count;
+    }
+    return a.key < b.key;
+  });
+  if (entries.size() > k) {
+    entries.resize(k);
+  }
+  return entries;
+}
+
+}  // namespace cckvs

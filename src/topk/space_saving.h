@@ -1,0 +1,75 @@
+// Top-k popularity tracking (§4, substrate S7).
+//
+// The symmetric cache must hold the k most popular keys.  The paper adopts the
+// scheme of Li et al. [32]: memory-efficient top-k summaries (Space-Saving,
+// Metwally et al. [35]) fed by a sampled request stream, with an epoch-based
+// refresh.  Because symmetric caching load-balances requests, every node sees
+// the same access distribution, so a single cache coordinator suffices — that
+// coordinator lives in epoch_coordinator.h.
+
+#ifndef CCKVS_TOPK_SPACE_SAVING_H_
+#define CCKVS_TOPK_SPACE_SAVING_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace cckvs {
+
+// Space-Saving stream summary: tracks approximately the `capacity` most frequent
+// keys of a stream with O(capacity) memory.  Guarantees: every key with true
+// count > N/capacity is present; reported count overestimates by at most the
+// minimum counter.
+class SpaceSaving {
+ public:
+  explicit SpaceSaving(std::size_t capacity);
+
+  void Offer(Key key, std::uint64_t increment = 1);
+
+  // Halves every counter (and error bound).  Applied at epoch boundaries so
+  // that the summary weights recent traffic and newly popular keys can displace
+  // stale ones — the role of the "frequency counter that keeps track of
+  // recently visited keys" in Li et al.'s scheme (§4).  Order-preserving, so
+  // the heap invariant survives.
+  void DecayHalve();
+
+  struct Entry {
+    Key key = 0;
+    std::uint64_t count = 0;  // estimated frequency (upper bound)
+    std::uint64_t error = 0;  // max overestimation
+  };
+
+  // The k heaviest entries, by descending estimated count.
+  std::vector<Entry> TopK(std::size_t k) const;
+
+  std::size_t size() const { return heap_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t stream_length() const { return stream_length_; }
+
+ private:
+  struct Counter {
+    Key key;
+    std::uint64_t count;
+    std::uint64_t error;
+  };
+
+  // Min-heap on count so the victim (minimum counter) is O(1) to find.
+  void SiftDown(std::size_t i);
+  void SiftUp(std::size_t i);
+  bool Less(std::size_t a, std::size_t b) const {
+    return heap_[a].count < heap_[b].count;
+  }
+  void SwapNodes(std::size_t a, std::size_t b);
+
+  std::size_t capacity_;
+  std::uint64_t stream_length_ = 0;
+  std::vector<Counter> heap_;
+  std::unordered_map<Key, std::size_t> index_;  // key -> heap position
+};
+
+}  // namespace cckvs
+
+#endif  // CCKVS_TOPK_SPACE_SAVING_H_

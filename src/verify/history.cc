@@ -1,0 +1,182 @@
+#include "src/verify/history.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/workload/workload.h"
+
+namespace cckvs {
+namespace {
+
+struct TsLess {
+  bool operator()(const Timestamp& a, const Timestamp& b) const { return a < b; }
+};
+
+std::string Describe(const HistoryOp& op) {
+  std::ostringstream os;
+  os << ToString(op.type) << "(key=" << op.key << ", session=" << op.session
+     << ", ts=" << op.ts << ", t=[" << op.invoke << "," << op.complete << "])";
+  return os.str();
+}
+
+// Groups operation indices by key.
+std::unordered_map<Key, std::vector<std::size_t>> ByKey(
+    const std::vector<HistoryOp>& ops) {
+  std::unordered_map<Key, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    groups[ops[i].key].push_back(i);
+  }
+  return groups;
+}
+
+// Checks (a) unique write timestamps and (b) reads observe existing writes.
+// Returns empty on success.  `write_ts` receives the set of write timestamps.
+std::string CheckWitnessBasics(const std::vector<HistoryOp>& ops,
+                               const std::vector<std::size_t>& indices,
+                               std::set<Timestamp, TsLess>* write_ts) {
+  for (const std::size_t i : indices) {
+    const HistoryOp& op = ops[i];
+    if (op.type == OpType::kPut) {
+      if (!write_ts->insert(op.ts).second) {
+        return "duplicate write timestamp: " + Describe(op);
+      }
+    }
+  }
+  for (const std::size_t i : indices) {
+    const HistoryOp& op = ops[i];
+    if (op.type == OpType::kGet && op.ts != Timestamp{} &&
+        write_ts->count(op.ts) == 0) {
+      return "read observed a timestamp never written: " + Describe(op);
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string History::CheckPerKeyLinearizability() const {
+  const auto groups = ByKey(ops_);
+  for (const auto& [key, indices] : groups) {
+    std::set<Timestamp, TsLess> write_ts;
+    if (std::string err = CheckWitnessBasics(ops_, indices, &write_ts); !err.empty()) {
+      return err;
+    }
+
+    // Real-time condition (c): sweep events in time order; maintain the largest
+    // effective timestamp among *completed* operations.  An invocation must not
+    // observe less (writes: not less-or-equal).
+    struct Event {
+      SimTime time;
+      bool is_invoke;  // invokes processed before completions at equal times
+      std::size_t op_index;
+    };
+    std::vector<Event> events;
+    events.reserve(indices.size() * 2);
+    for (const std::size_t i : indices) {
+      events.push_back(Event{ops_[i].invoke, true, i});
+      events.push_back(Event{ops_[i].complete, false, i});
+    }
+    std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+      if (a.time != b.time) {
+        return a.time < b.time;
+      }
+      return a.is_invoke > b.is_invoke;  // invoke first on ties
+    });
+
+    Timestamp max_completed{};
+    std::size_t max_completed_op = 0;
+    bool have_completed = false;
+    for (const Event& ev : events) {
+      const HistoryOp& op = ops_[ev.op_index];
+      if (ev.is_invoke) {
+        if (have_completed) {
+          const bool strict = op.type == OpType::kPut;
+          const bool ok = strict ? op.ts > max_completed : op.ts >= max_completed;
+          if (!ok) {
+            return "linearizability violation: " + Describe(op) +
+                   " observed/wrote ts " + (strict ? "not above " : "below ") +
+                   "already-completed " + Describe(ops_[max_completed_op]);
+          }
+        }
+      } else {
+        if (!have_completed || op.ts > max_completed) {
+          max_completed = op.ts;
+          max_completed_op = ev.op_index;
+          have_completed = true;
+        }
+      }
+    }
+  }
+  return "";
+}
+
+std::string History::CheckWriteAtomicity() const {
+  std::unordered_map<Key, std::unordered_set<std::string>> written;
+  for (const HistoryOp& op : ops_) {
+    if (op.type == OpType::kPut) {
+      written[op.key].insert(op.value);
+    }
+  }
+  for (const HistoryOp& op : ops_) {
+    if (op.type != OpType::kGet) {
+      continue;
+    }
+    if (op.value ==
+        SynthesizeValue(op.key, static_cast<std::uint32_t>(op.value.size()))) {
+      continue;  // the key's initial (never-written) value
+    }
+    auto it = written.find(op.key);
+    if (it == written.end() || it->second.count(op.value) == 0) {
+      return "write-atomicity violation: " + Describe(op) +
+             " returned a value never written to its key";
+    }
+  }
+  return "";
+}
+
+std::string History::CheckPerKeySequentialConsistency() const {
+  const auto groups = ByKey(ops_);
+  for (const auto& [key, indices] : groups) {
+    std::set<Timestamp, TsLess> write_ts;
+    if (std::string err = CheckWitnessBasics(ops_, indices, &write_ts); !err.empty()) {
+      return err;
+    }
+
+    // Per-session monotonicity in session order.  Session order is the order of
+    // invocation within a session (sessions are single-threaded clients).
+    std::unordered_map<SessionId, std::vector<std::size_t>> by_session;
+    for (const std::size_t i : indices) {
+      by_session[ops_[i].session].push_back(i);
+    }
+    for (auto& [session, session_ops] : by_session) {
+      std::sort(session_ops.begin(), session_ops.end(),
+                [this](std::size_t a, std::size_t b) {
+                  return ops_[a].invoke < ops_[b].invoke;
+                });
+      Timestamp last{};
+      bool have_last = false;
+      std::size_t last_index = 0;
+      for (const std::size_t i : session_ops) {
+        const HistoryOp& op = ops_[i];
+        if (have_last) {
+          const bool strict = op.type == OpType::kPut;
+          const bool ok = strict ? op.ts > last : op.ts >= last;
+          if (!ok) {
+            return "per-key SC violation (session order regressed): " +
+                   Describe(op) + " after " + Describe(ops_[last_index]);
+          }
+        }
+        last = op.ts;
+        last_index = i;
+        have_last = true;
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace cckvs

@@ -1,0 +1,365 @@
+#include "src/verify/model_checker.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/cache/symmetric_cache.h"
+#include "src/common/check.h"
+#include "src/protocol/engine.h"
+
+namespace cckvs {
+namespace {
+
+constexpr Key kKey = 0xcafe;
+const char kInitValue[] = "init";
+
+// An in-flight protocol message.  The fabric is modelled as a multiset: UD
+// provides no ordering, so any in-flight message may be delivered next.
+struct Msg {
+  enum class Type : std::uint8_t { kInv = 0, kAck = 1, kUpd = 2 };
+  Type type;
+  NodeId from;
+  NodeId to;
+  Timestamp ts;
+  std::string value;  // updates only
+
+  // Canonical order, so action enumeration is deterministic across replays.
+  friend bool operator<(const Msg& a, const Msg& b) {
+    return std::tie(a.type, a.from, a.to, a.ts, a.value) <
+           std::tie(b.type, b.from, b.to, b.ts, b.value);
+  }
+  friend bool operator==(const Msg&, const Msg&) = default;
+};
+
+struct Action {
+  enum class Kind : std::uint8_t { kStartWrite, kDeliver };
+  Kind kind;
+  int arg;  // node id for kStartWrite; in-flight index for kDeliver
+};
+
+// The complete protocol world: N real engines over N real caches, plus the
+// in-flight message multiset and verification bookkeeping.
+class World {
+ public:
+  explicit World(const ModelCheckerConfig& config)
+      : config_(config), writes_remaining_(config.total_writes) {
+    for (int i = 0; i < config.num_nodes; ++i) {
+      caches_.push_back(std::make_unique<SymmetricCache>(1));
+      caches_.back()->InstallHotSet({kKey});
+      caches_.back()->Fill(kKey, kInitValue, Timestamp{0, 0});
+      sinks_.push_back(std::make_unique<Sink>(this, static_cast<NodeId>(i)));
+      engines_.push_back(std::make_unique<LinEngine>(
+          static_cast<NodeId>(i), config.num_nodes, caches_.back().get(),
+          sinks_.back().get()));
+      writes_issued_by_.push_back(0);
+    }
+    value_of_ts_[Timestamp{0, 0}] = kInitValue;
+  }
+
+  // --- Action enumeration (deterministic) ---
+  std::vector<Action> EnabledActions() const {
+    std::vector<Action> actions;
+    if (writes_remaining_ > 0) {
+      for (int i = 0; i < config_.num_nodes; ++i) {
+        const CacheEntry* entry = caches_[static_cast<std::size_t>(i)]->Find(kKey);
+        if (!entry->write_in_flight) {
+          actions.push_back(Action{Action::Kind::kStartWrite, i});
+        }
+      }
+    }
+    for (int m = 0; m < static_cast<int>(in_flight_.size()); ++m) {
+      actions.push_back(Action{Action::Kind::kDeliver, m});
+    }
+    return actions;
+  }
+
+  // Applies one action; returns false (setting failure_) on invariant breach.
+  bool Apply(const Action& action) {
+    std::vector<Timestamp> before = SnapshotTimestamps();
+    if (action.kind == Action::Kind::kStartWrite) {
+      if (!StartWrite(static_cast<NodeId>(action.arg))) {
+        return false;
+      }
+    } else {
+      CCKVS_CHECK_LT(static_cast<std::size_t>(action.arg), in_flight_.size());
+      const Msg msg = in_flight_[static_cast<std::size_t>(action.arg)];
+      in_flight_.erase(in_flight_.begin() + action.arg);
+      Deliver(msg);
+    }
+    // I2: per-node timestamp monotonicity across every transition.
+    std::vector<Timestamp> after = SnapshotTimestamps();
+    for (int i = 0; i < config_.num_nodes; ++i) {
+      if (after[static_cast<std::size_t>(i)] < before[static_cast<std::size_t>(i)]) {
+        failure_ = Format("I2 violation: node ", i, " timestamp regressed");
+        return false;
+      }
+    }
+    return CheckDataValueInvariant();
+  }
+
+  // I1: Valid (and Invalid) entries carry timestamps of known writes; Valid
+  // entries hold exactly that write's value.
+  bool CheckDataValueInvariant() {
+    for (int i = 0; i < config_.num_nodes; ++i) {
+      const CacheEntry* entry = caches_[static_cast<std::size_t>(i)]->Find(kKey);
+      auto it = value_of_ts_.find(entry->ts());
+      if (it == value_of_ts_.end()) {
+        failure_ = Format("I1 violation: node ", i, " holds unknown timestamp");
+        return false;
+      }
+      if (entry->state() == CacheState::kValid && entry->value != it->second) {
+        failure_ = Format("I1 violation: node ", i,
+                          " Valid value does not match its timestamp's write");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // I5: terminal states must be fully converged.
+  bool CheckTerminal() {
+    if (!in_flight_.empty()) {
+      failure_ = "I4 violation: messages in flight but no enabled action";
+      return false;
+    }
+    if (completed_writes_ != total_started_) {
+      failure_ = "I4 violation (deadlock): started writes never completed";
+      return false;
+    }
+    Timestamp max_ts{0, 0};
+    for (const auto& [ts, value] : value_of_ts_) {
+      max_ts = std::max(max_ts, ts);
+    }
+    for (int i = 0; i < config_.num_nodes; ++i) {
+      const CacheEntry* entry = caches_[static_cast<std::size_t>(i)]->Find(kKey);
+      if (entry->state() != CacheState::kValid) {
+        failure_ = Format("I5 violation: node ", i, " not Valid at quiescence");
+        return false;
+      }
+      if (entry->ts() != max_ts || entry->value != value_of_ts_[max_ts]) {
+        failure_ = Format("I5 violation: node ", i, " did not converge to max write");
+        return false;
+      }
+      if (!engines_[static_cast<std::size_t>(i)]->Quiescent()) {
+        failure_ = Format("I5 violation: node ", i, " engine not quiescent");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Canonical state encoding for the visited set.
+  std::string Encode() const {
+    std::ostringstream os;
+    for (int i = 0; i < config_.num_nodes; ++i) {
+      const CacheEntry* e = caches_[static_cast<std::size_t>(i)]->Find(kKey);
+      os << 'N' << e->header.version << ',' << static_cast<int>(e->header.last_writer)
+         << ',' << static_cast<int>(e->header.state) << ','
+         << static_cast<int>(e->header.ack_count) << ',' << e->write_in_flight << ','
+         << e->superseded << ',' << e->has_shadow << ',' << e->value << ','
+         << e->pending_ts << ',' << e->pending_value << ',' << e->shadow_ts << ','
+         << e->shadow_value << ';' << writes_issued_by_[static_cast<std::size_t>(i)]
+         << ';';
+    }
+    os << 'B' << writes_remaining_ << ';' << max_completed_ << ';';
+    std::vector<Msg> sorted = in_flight_;
+    std::sort(sorted.begin(), sorted.end());
+    for (const Msg& m : sorted) {
+      os << 'M' << static_cast<int>(m.type) << ',' << static_cast<int>(m.from) << ','
+         << static_cast<int>(m.to) << ',' << m.ts << ',' << m.value << ';';
+    }
+    return os.str();
+  }
+
+  const std::string& failure() const { return failure_; }
+  std::size_t in_flight_count() const { return in_flight_.size(); }
+
+ private:
+  class Sink final : public MessageSink {
+   public:
+    Sink(World* world, NodeId self) : world_(world), self_(self) {}
+    void BroadcastUpdate(const UpdateMsg& msg) override {
+      for (int j = 0; j < world_->config_.num_nodes; ++j) {
+        if (j != self_) {
+          world_->in_flight_.push_back(Msg{Msg::Type::kUpd, self_,
+                                           static_cast<NodeId>(j), msg.ts, msg.value});
+        }
+      }
+    }
+    void BroadcastInvalidate(const InvalidateMsg& msg) override {
+      for (int j = 0; j < world_->config_.num_nodes; ++j) {
+        if (j != self_) {
+          world_->in_flight_.push_back(
+              Msg{Msg::Type::kInv, self_, static_cast<NodeId>(j), msg.ts, {}});
+        }
+      }
+    }
+    void SendAck(NodeId to, const AckMsg& msg) override {
+      world_->in_flight_.push_back(Msg{Msg::Type::kAck, self_, to, msg.ts, {}});
+    }
+
+   private:
+    World* world_;
+    NodeId self_;
+  };
+
+  template <typename... Args>
+  static std::string Format(Args&&... args) {
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+  }
+
+  std::vector<Timestamp> SnapshotTimestamps() const {
+    std::vector<Timestamp> ts;
+    for (int i = 0; i < config_.num_nodes; ++i) {
+      ts.push_back(caches_[static_cast<std::size_t>(i)]->Find(kKey)->ts());
+    }
+    return ts;
+  }
+
+  bool StartWrite(NodeId node) {
+    CCKVS_CHECK_GT(writes_remaining_, 0);
+    --writes_remaining_;
+    ++total_started_;
+    const int idx = writes_issued_by_[node]++;
+    const std::string value =
+        Format("w", static_cast<int>(node), ":", idx);
+    CacheEntry* entry = caches_[node]->Find(kKey);
+    engines_[node]->Write(kKey, value, [this, node]() {
+      // I3 bookkeeping: pending_ts still holds the completed write's timestamp
+      // when the done callback runs (see LinEngine::CompleteWrite).
+      const Timestamp ts = caches_[node]->Find(kKey)->pending_ts;
+      max_completed_ = std::max(max_completed_, ts);
+      ++completed_writes_;
+    });
+    const Timestamp assigned = entry->pending_ts;
+    // I3: real-time ordering — a write issued now must be timestamped above
+    // every already-completed write.
+    if (!(assigned > max_completed_)) {
+      failure_ = Format("I3 violation: node ", static_cast<int>(node),
+                        " issued ts not above a completed write's ts");
+      return false;
+    }
+    if (assigned.clock > static_cast<std::uint32_t>(config_.max_clock)) {
+      failure_ = "timestamp bound exceeded";
+      return false;
+    }
+    CCKVS_CHECK(value_of_ts_.emplace(assigned, value).second);
+    return true;
+  }
+
+  void Deliver(const Msg& msg) {
+    CoherenceEngine& engine = *engines_[msg.to];
+    switch (msg.type) {
+      case Msg::Type::kInv:
+        engine.OnInvalidate(msg.from, InvalidateMsg{kKey, msg.ts});
+        break;
+      case Msg::Type::kAck:
+        engine.OnAck(msg.from, AckMsg{kKey, msg.ts});
+        break;
+      case Msg::Type::kUpd:
+        engine.OnUpdate(msg.from, UpdateMsg{kKey, msg.value, msg.ts});
+        break;
+    }
+  }
+
+  struct TimestampHash {
+    std::size_t operator()(const Timestamp& t) const {
+      return (static_cast<std::size_t>(t.clock) << 8) | t.writer;
+    }
+  };
+
+  ModelCheckerConfig config_;
+  std::vector<std::unique_ptr<SymmetricCache>> caches_;
+  std::vector<std::unique_ptr<Sink>> sinks_;
+  std::vector<std::unique_ptr<LinEngine>> engines_;
+  std::vector<Msg> in_flight_;
+  std::vector<int> writes_issued_by_;
+  int writes_remaining_ = 0;
+  int total_started_ = 0;
+  int completed_writes_ = 0;
+  Timestamp max_completed_{0, 0};
+  std::unordered_map<Timestamp, std::string, TimestampHash> value_of_ts_;
+  std::string failure_;
+};
+
+}  // namespace
+
+ModelCheckerResult CheckLinProtocol(const ModelCheckerConfig& config) {
+  ModelCheckerResult result;
+
+  // BFS over canonical states; paths are replayed, so the production engines
+  // never need to be copyable.
+  std::unordered_set<std::string> visited;
+  std::deque<std::vector<Action>> frontier;
+
+  auto make_world = [&config]() { return std::make_unique<World>(config); };
+
+  {
+    auto root = make_world();
+    visited.insert(root->Encode());
+    frontier.push_back({});
+    result.states_explored = 1;
+  }
+
+  while (!frontier.empty()) {
+    const std::vector<Action> path = std::move(frontier.front());
+    frontier.pop_front();
+    result.max_depth = std::max(result.max_depth,
+                                static_cast<std::uint64_t>(path.size()));
+
+    // Rebuild the state at `path` once to enumerate its actions.
+    auto base = make_world();
+    for (const Action& a : path) {
+      if (!base->Apply(a)) {
+        result.failure = base->failure();
+        return result;
+      }
+    }
+    const std::vector<Action> actions = base->EnabledActions();
+    if (actions.empty()) {
+      ++result.terminal_states;
+      if (!base->CheckTerminal()) {
+        result.failure = base->failure();
+        return result;
+      }
+      continue;
+    }
+
+    for (const Action& action : actions) {
+      ++result.transitions;
+      auto world = make_world();
+      bool ok = true;
+      for (const Action& a : path) {
+        if (!world->Apply(a)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok && !world->Apply(action)) {
+        ok = false;
+      }
+      if (!ok) {
+        result.failure = world->failure();
+        return result;
+      }
+      std::string encoded = world->Encode();
+      if (visited.insert(std::move(encoded)).second) {
+        ++result.states_explored;
+        std::vector<Action> next = path;
+        next.push_back(action);
+        frontier.push_back(std::move(next));
+      }
+    }
+  }
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace cckvs

@@ -1,0 +1,95 @@
+#include "src/workload/workload.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/common/hash.h"
+
+namespace cckvs {
+namespace {
+
+constexpr char kWriteMagic = 'W';
+constexpr char kSynthMagic = 'S';
+
+}  // namespace
+
+Value SynthesizeValue(Key key, std::uint32_t value_bytes) {
+  CCKVS_CHECK_GE(value_bytes, 1u);
+  Value v(value_bytes, '\0');
+  v[0] = kSynthMagic;
+  // Deterministic pattern derived from the key.
+  std::uint64_t state = key ^ 0x5eed;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (i % 8 == 1) {
+      state = Mix64(state);
+    }
+    v[i] = static_cast<char>(state >> ((i % 8) * 8));
+  }
+  return v;
+}
+
+Value MakeWriteValue(std::uint32_t writer_tag, std::uint64_t seq,
+                     std::uint32_t value_bytes) {
+  CCKVS_CHECK_GE(value_bytes, 13u);  // magic + tag + seq(8) must fit
+  Value v(value_bytes, '\0');
+  v[0] = kWriteMagic;
+  std::memcpy(&v[1], &writer_tag, sizeof(writer_tag));
+  std::memcpy(&v[5], &seq, sizeof(seq));
+  return v;
+}
+
+bool ParseWriteValue(const Value& value, std::uint32_t* writer_tag,
+                     std::uint64_t* seq) {
+  if (value.size() < 13 || value[0] != kWriteMagic) {
+    return false;
+  }
+  if (writer_tag != nullptr) {
+    std::memcpy(writer_tag, value.data() + 1, sizeof(*writer_tag));
+  }
+  if (seq != nullptr) {
+    std::memcpy(seq, value.data() + 5, sizeof(*seq));
+  }
+  return true;
+}
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& config,
+                                     std::uint32_t writer_tag, std::uint64_t seed)
+    : config_(config),
+      sampler_(config.keyspace, config.zipf_alpha),
+      scrambler_(config.keyspace, config.scramble_seed),
+      rng_(seed),
+      writer_tag_(writer_tag) {
+  CCKVS_CHECK_GE(config.keyspace, 1u);
+  CCKVS_CHECK_GE(config.write_ratio, 0.0);
+  CCKVS_CHECK_LE(config.write_ratio, 1.0);
+}
+
+Key WorkloadGenerator::KeyOfRank(std::uint64_t rank0) const {
+  return scrambler_.RankToKey(rank0);
+}
+
+std::vector<Key> WorkloadGenerator::HottestKeys(std::size_t k) const {
+  std::vector<Key> keys;
+  keys.reserve(k);
+  for (std::uint64_t r = 0; r < k && r < config_.keyspace; ++r) {
+    keys.push_back(KeyOfRank(r));
+  }
+  return keys;
+}
+
+Op WorkloadGenerator::Next() {
+  ++ops_;
+  Op op;
+  const std::uint64_t rank = sampler_.Sample(rng_);  // 1-based
+  op.key = KeyOfRank(rank - 1);
+  if (config_.write_ratio > 0.0 && rng_.NextBool(config_.write_ratio)) {
+    op.type = OpType::kPut;
+    op.value = MakeWriteValue(writer_tag_, seq_++, config_.value_bytes);
+  } else {
+    op.type = OpType::kGet;
+  }
+  return op;
+}
+
+}  // namespace cckvs

@@ -1,0 +1,81 @@
+// Workload generation (§7.2, substrate S11).
+//
+// The paper evaluates YCSB-style workloads: Zipfian key popularity with
+// exponents {0.90, 0.99, 1.01} (0.99 is the YCSB default), a 250 M-key dataset,
+// 8 B keys, values of 40 B / 256 B / 1 KB, and write ratios from 0 to 5%.
+// Popularity ranks map to key ids through a seeded Feistel bijection so hot keys
+// scatter across shards, as hashing scatters them in the real system.
+
+#ifndef CCKVS_WORKLOAD_WORKLOAD_H_
+#define CCKVS_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/common/zipf.h"
+
+namespace cckvs {
+
+struct WorkloadConfig {
+  std::uint64_t keyspace = 250'000'000;
+  double zipf_alpha = 0.99;  // 0 = uniform
+  double write_ratio = 0.0;  // fraction of PUTs
+  std::uint32_t value_bytes = 40;
+  std::uint64_t scramble_seed = 0xcc5eed;  // shared by all generators of a run
+};
+
+struct Op {
+  OpType type = OpType::kGet;
+  Key key = 0;
+  Value value;  // filled for PUTs
+};
+
+// Deterministic default value of a key that was never written (lazy
+// materialization; see store::PartitionConfig::synthesize).
+Value SynthesizeValue(Key key, std::uint32_t value_bytes);
+
+// Builds a PUT payload that encodes (writer_tag, sequence) — globally unique per
+// write when writer tags are unique, which is what the consistency checkers key
+// on — padded to value_bytes.
+Value MakeWriteValue(std::uint32_t writer_tag, std::uint64_t seq,
+                     std::uint32_t value_bytes);
+
+// Recovers (writer_tag, seq) from a write value; returns false for synthesized
+// (never-written) values.
+bool ParseWriteValue(const Value& value, std::uint32_t* writer_tag, std::uint64_t* seq);
+
+class WorkloadGenerator {
+ public:
+  // `writer_tag` must be unique per generator in a run (e.g. node id or session
+  // id) so PUT payloads are globally unique.
+  WorkloadGenerator(const WorkloadConfig& config, std::uint32_t writer_tag,
+                    std::uint64_t seed);
+
+  Op Next();
+
+  // The key id of popularity rank `rank0` (0-based).  All generators of a run
+  // agree (same scramble seed).
+  Key KeyOfRank(std::uint64_t rank0) const;
+
+  // The k globally hottest key ids, descending popularity: the ground-truth hot
+  // set used to pre-fill symmetric caches for steady-state experiments.
+  std::vector<Key> HottestKeys(std::size_t k) const;
+
+  const WorkloadConfig& config() const { return config_; }
+  std::uint64_t ops_generated() const { return ops_; }
+
+ private:
+  WorkloadConfig config_;
+  ZipfSampler sampler_;
+  KeyScrambler scrambler_;
+  Rng rng_;
+  std::uint32_t writer_tag_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace cckvs
+
+#endif  // CCKVS_WORKLOAD_WORKLOAD_H_

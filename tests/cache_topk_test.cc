@@ -1,0 +1,296 @@
+// Unit tests for the symmetric cache and the top-k popularity machinery.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "src/cache/symmetric_cache.h"
+#include "src/common/rng.h"
+#include "src/common/zipf.h"
+#include "src/topk/epoch_coordinator.h"
+#include "src/topk/space_saving.h"
+
+namespace cckvs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SymmetricCache
+// ---------------------------------------------------------------------------
+
+TEST(SymmetricCache, HeaderIsEightBytes) {
+  // §6.2: "Each key-value pair stored in the cache has an 8B header."
+  static_assert(sizeof(CacheEntryHeader) == 8);
+  CacheEntryHeader h;
+  h.state = static_cast<std::uint8_t>(CacheState::kValid);
+  h.version = 0xdeadbeef;
+  h.last_writer = 5;
+  h.ack_count = 7;
+  EXPECT_EQ(sizeof(h), 8u);
+}
+
+TEST(SymmetricCache, ProbeCountsHitsAndMisses) {
+  SymmetricCache cache(10);
+  cache.InstallHotSet({1, 2, 3});
+  EXPECT_TRUE(cache.Probe(1));
+  EXPECT_FALSE(cache.Probe(99));
+  EXPECT_EQ(cache.stats().probes, 2u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(SymmetricCache, FillMakesEntryValid) {
+  SymmetricCache cache(4);
+  cache.InstallHotSet({5});
+  CacheEntry* e = cache.Find(5);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->state(), CacheState::kFilling);
+  cache.Fill(5, "value", Timestamp{3, 1});
+  EXPECT_EQ(e->state(), CacheState::kValid);
+  EXPECT_EQ(e->value, "value");
+  EXPECT_EQ(e->ts(), (Timestamp{3, 1}));
+  EXPECT_EQ(e->value_ts, (Timestamp{3, 1}));
+}
+
+TEST(SymmetricCache, FillDoesNotRegressAdvancedEntry) {
+  // A hot write can race ahead of the epoch fill; the late fill must lose.
+  SymmetricCache cache(4);
+  cache.InstallHotSet({5});
+  CacheEntry* e = cache.Find(5);
+  e->value = "written";
+  e->set_ts(Timestamp{10, 2});
+  e->set_state(CacheState::kValid);
+  cache.Fill(5, "stale-fill", Timestamp{1, 0});
+  EXPECT_EQ(e->value, "written");
+  EXPECT_EQ(e->ts(), (Timestamp{10, 2}));
+}
+
+TEST(SymmetricCache, InstallEvictsDepartingKeys) {
+  SymmetricCache cache(4);
+  cache.InstallHotSet({1, 2});
+  cache.Fill(1, "one", Timestamp{1, 0});
+  cache.Fill(2, "two", Timestamp{1, 0});
+  const auto dirty = cache.InstallHotSet({2, 3});
+  EXPECT_TRUE(dirty.empty());  // nothing dirty yet
+  EXPECT_EQ(cache.Find(1), nullptr);
+  EXPECT_NE(cache.Find(2), nullptr);
+  EXPECT_NE(cache.Find(3), nullptr);
+  EXPECT_EQ(cache.Find(2)->value, "two");  // surviving keys keep their value
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(SymmetricCache, DirtyEvictionsReturnedForWriteBack) {
+  SymmetricCache cache(4);
+  cache.InstallHotSet({1, 2});
+  cache.Fill(1, "one", Timestamp{1, 0});
+  cache.Fill(2, "two", Timestamp{1, 0});
+  CacheEntry* e = cache.Find(1);
+  e->value = "one-updated";
+  e->value_ts = Timestamp{5, 3};
+  e->set_ts(Timestamp{5, 3});
+  e->dirty = true;
+  const auto dirty = cache.InstallHotSet({2});
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0].key, 1u);
+  EXPECT_EQ(dirty[0].value, "one-updated");
+  EXPECT_EQ(dirty[0].ts, (Timestamp{5, 3}));
+  EXPECT_EQ(cache.stats().dirty_evictions, 1u);
+}
+
+TEST(SymmetricCache, DirtyEvictionUsesInstalledValueTs) {
+  // Invalid entry: header ts promised a newer write than the installed value.
+  SymmetricCache cache(4);
+  cache.InstallHotSet({1});
+  cache.Fill(1, "installed", Timestamp{2, 0});
+  CacheEntry* e = cache.Find(1);
+  e->dirty = true;
+  e->set_ts(Timestamp{7, 1});  // promised by an in-flight write
+  e->set_state(CacheState::kInvalid);
+  const auto dirty = cache.InstallHotSet({});
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0].value, "installed");
+  EXPECT_EQ(dirty[0].ts, (Timestamp{2, 0}));  // never the promised timestamp
+}
+
+TEST(SymmetricCache, PendingFillsListsUnfilledKeys) {
+  SymmetricCache cache(8);
+  cache.InstallHotSet({1, 2, 3});
+  cache.Fill(2, "x", Timestamp{1, 0});
+  const auto pending = cache.PendingFills();
+  const std::unordered_set<Key> set(pending.begin(), pending.end());
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(1));
+  EXPECT_TRUE(set.count(3));
+}
+
+TEST(SymmetricCacheDeathTest, OverCapacityInstallAborts) {
+  SymmetricCache cache(2);
+  EXPECT_DEATH(cache.InstallHotSet({1, 2, 3}), "CHECK");
+}
+
+// ---------------------------------------------------------------------------
+// SpaceSaving
+// ---------------------------------------------------------------------------
+
+TEST(SpaceSaving, ExactWhenUnderCapacity) {
+  SpaceSaving ss(10);
+  for (int i = 0; i < 5; ++i) {
+    ss.Offer(1);
+  }
+  ss.Offer(2);
+  const auto top = ss.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 1u);
+  EXPECT_EQ(top[0].count, 5u);
+  EXPECT_EQ(top[0].error, 0u);
+  EXPECT_EQ(top[1].key, 2u);
+}
+
+TEST(SpaceSaving, EvictsMinimumCounter) {
+  SpaceSaving ss(2);
+  ss.Offer(1, 10);
+  ss.Offer(2, 5);
+  ss.Offer(3);  // evicts key 2 (min), inherits count 5
+  const auto top = ss.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 1u);
+  EXPECT_EQ(top[1].key, 3u);
+  EXPECT_EQ(top[1].count, 6u);
+  EXPECT_EQ(top[1].error, 5u);
+}
+
+TEST(SpaceSaving, CountsNeverUnderestimate) {
+  // Space-Saving guarantee: estimate >= true count.
+  SpaceSaving ss(20);
+  Rng rng(5);
+  std::vector<int> truth(200, 0);
+  ZipfSampler sampler(200, 1.0);
+  for (int i = 0; i < 20000; ++i) {
+    const Key k = sampler.Sample(rng);
+    truth[k - 1]++;
+    ss.Offer(k);
+  }
+  for (const auto& e : ss.TopK(20)) {
+    EXPECT_GE(e.count, static_cast<std::uint64_t>(truth[e.key - 1]));
+  }
+}
+
+TEST(SpaceSaving, RecallsTrueTopKOnZipf) {
+  // Capacity must push the noise floor (stream/capacity) below the true count
+  // of the ranks we want recalled: rank 8 of Zipf(0.99) gets ~1% of a 300k
+  // stream (~2.9k), so capacity 256 (floor ~1.2k) suffices.
+  const std::size_t k = 16;
+  SpaceSaving ss(256);
+  Rng rng(11);
+  ZipfSampler sampler(100000, 0.99);
+  for (int i = 0; i < 300000; ++i) {
+    ss.Offer(sampler.Sample(rng));
+  }
+  const auto top = ss.TopK(k);
+  std::unordered_set<Key> reported;
+  for (const auto& e : top) {
+    reported.insert(e.key);
+  }
+  // The true top-8 ranks (keys 1..8) must all be reported within the top-16.
+  int found = 0;
+  for (Key rank = 1; rank <= 8; ++rank) {
+    if (reported.count(rank)) {
+      ++found;
+    }
+  }
+  EXPECT_GE(found, 7);
+}
+
+TEST(SpaceSaving, StreamLengthTracksOffers) {
+  SpaceSaving ss(4);
+  for (int i = 0; i < 7; ++i) {
+    ss.Offer(static_cast<Key>(i));
+  }
+  EXPECT_EQ(ss.stream_length(), 7u);
+  EXPECT_EQ(ss.size(), 4u);  // capacity-bounded
+}
+
+// ---------------------------------------------------------------------------
+// EpochCoordinator
+// ---------------------------------------------------------------------------
+
+TEST(EpochCoordinator, PublishesAfterEpoch) {
+  EpochCoordinatorConfig cfg;
+  cfg.hot_set_size = 4;
+  cfg.requests_per_epoch = 100;
+  cfg.sample_probability = 1.0;
+  EpochCoordinator coord(cfg);
+  EXPECT_TRUE(coord.CurrentHotSet().empty());
+  bool closed = false;
+  for (int i = 0; i < 100; ++i) {
+    closed = coord.OnRequest(static_cast<Key>(i % 8));
+  }
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(coord.epoch(), 1u);
+  EXPECT_EQ(coord.CurrentHotSet().size(), 4u);
+}
+
+TEST(EpochCoordinator, LearnsZipfHotSet) {
+  EpochCoordinatorConfig cfg;
+  cfg.hot_set_size = 10;
+  cfg.requests_per_epoch = 50000;
+  cfg.sample_probability = 0.5;
+  cfg.seed = 3;
+  EpochCoordinator coord(cfg);
+  Rng rng(8);
+  ZipfSampler sampler(10000, 0.99);
+  for (int i = 0; i < 50000; ++i) {
+    coord.OnRequest(sampler.Sample(rng));
+  }
+  ASSERT_EQ(coord.epoch(), 1u);
+  const auto& hot = coord.CurrentHotSet();
+  std::unordered_set<Key> set(hot.begin(), hot.end());
+  // Ranks 1..5 are each >1.5% of the stream; sampling at 50% finds them.
+  for (Key rank = 1; rank <= 5; ++rank) {
+    EXPECT_TRUE(set.count(rank)) << "missing hot rank " << rank;
+  }
+}
+
+TEST(EpochCoordinator, StableDistributionLowChurn) {
+  EpochCoordinatorConfig cfg;
+  cfg.hot_set_size = 8;
+  cfg.requests_per_epoch = 30000;
+  cfg.sample_probability = 1.0;
+  EpochCoordinator coord(cfg);
+  Rng rng(2);
+  ZipfSampler sampler(1000, 1.2);  // heavy skew: clear-cut hot set
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    for (int i = 0; i < 30000; ++i) {
+      coord.OnRequest(sampler.Sample(rng));
+    }
+  }
+  EXPECT_EQ(coord.epoch(), 3u);
+  // §4: "we expect the set of most popular keys to evolve slowly, with only a
+  // handful of keys removed/added every few seconds."
+  EXPECT_LE(coord.last_epoch_churn(), 2u);
+}
+
+TEST(EpochCoordinator, DetectsPopularityShift) {
+  EpochCoordinatorConfig cfg;
+  cfg.hot_set_size = 4;
+  cfg.requests_per_epoch = 20000;
+  cfg.sample_probability = 1.0;
+  EpochCoordinator coord(cfg);
+  for (int i = 0; i < 20000; ++i) {
+    coord.OnRequest(static_cast<Key>(i % 4 + 1));  // keys 1..4 hot
+  }
+  const auto first = coord.CurrentHotSet();
+  for (int i = 0; i < 20000; ++i) {
+    coord.OnRequest(static_cast<Key>(i % 4 + 101));  // keys 101..104 take over
+  }
+  const auto second = coord.CurrentHotSet();
+  std::unordered_set<Key> set(second.begin(), second.end());
+  int newly_hot = 0;
+  for (Key k = 101; k <= 104; ++k) {
+    newly_hot += set.count(k) ? 1 : 0;
+  }
+  EXPECT_GE(newly_hot, 3);
+  EXPECT_NE(first, second);
+}
+
+}  // namespace
+}  // namespace cckvs

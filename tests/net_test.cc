@@ -1,0 +1,281 @@
+// Unit tests for the simulated network fabric: serialization, switch packet-rate
+// caps, incast behaviour, multicast semantics and traffic accounting.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+
+namespace cckvs {
+namespace {
+
+NetConfig SmallRack() {
+  NetConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.link_gbps = 8.0;      // 1 B/ns: easy mental math
+  cfg.switch_mpps = 100.0;  // 10 ns per packet per port
+  cfg.nic_mpps = 1000.0;    // effectively uncapped: tests isolate the switch
+  cfg.propagation_ns = 5;
+  return cfg;
+}
+
+Packet MakePacket(NodeId src, NodeId dst, std::uint32_t header, std::uint32_t payload,
+                  TrafficClass cls = TrafficClass::kRemoteRequest) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.header_bytes = header;
+  p.payload_bytes = payload;
+  p.cls = cls;
+  return p;
+}
+
+TEST(Network, WireAndPortTimes) {
+  Simulator sim;
+  Network net(&sim, SmallRack());
+  EXPECT_EQ(net.WireTime(100), 100u);  // 8 Gb/s = 1 B/ns
+  EXPECT_EQ(net.PortTime(), 10u);
+}
+
+TEST(Network, SingleSmallPacketLatency) {
+  Simulator sim;
+  Network net(&sim, SmallRack());
+  SimTime delivered_at = 0;
+  net.SetDeliverHandler(1, [&](const Packet&) { delivered_at = sim.now(); });
+  // 50B packet: 50ns TX wire + 10 ingress + 10 egress + 50 RX wire + 5 prop = 125.
+  net.Send(MakePacket(0, 1, 10, 40));
+  sim.Run();
+  EXPECT_EQ(delivered_at, 125u);
+}
+
+TEST(Network, DirectCableSkipsSwitch) {
+  Simulator sim;
+  NetConfig cfg = SmallRack();
+  cfg.through_switch = false;
+  Network net(&sim, cfg);
+  SimTime delivered_at = 0;
+  net.SetDeliverHandler(1, [&](const Packet&) { delivered_at = sim.now(); });
+  net.Send(MakePacket(0, 1, 10, 40));
+  sim.Run();
+  EXPECT_EQ(delivered_at, 105u);  // no 2x10ns port stations
+}
+
+TEST(Network, BigPacketsAreBandwidthBound) {
+  // Packets large enough that wire time (1000ns) >> port time (10ns): the
+  // sustained rate must equal the line rate.
+  Simulator sim;
+  Network net(&sim, SmallRack());
+  int received = 0;
+  net.SetDeliverHandler(1, [&](const Packet&) { ++received; });
+  const int kPackets = 100;
+  for (int i = 0; i < kPackets; ++i) {
+    net.Send(MakePacket(0, 1, 40, 960));  // 1000 B -> 1000 ns serialization
+  }
+  sim.Run();
+  EXPECT_EQ(received, kPackets);
+  // Pipeline: TX wire is the bottleneck station at 1000ns/packet.
+  const double ns_per_packet = static_cast<double>(sim.now()) / kPackets;
+  EXPECT_NEAR(ns_per_packet, 1000.0, 30.0);
+}
+
+TEST(Network, SmallPacketsArePpsBound) {
+  // 20 B packets: wire time 20ns < port time 10ns... wire still dominates; use
+  // tiny packets (5 B -> 5 ns wire) so the 10 ns ports dominate at 10ns/packet.
+  Simulator sim;
+  Network net(&sim, SmallRack());
+  int received = 0;
+  net.SetDeliverHandler(1, [&](const Packet&) { ++received; });
+  const int kPackets = 200;
+  for (int i = 0; i < kPackets; ++i) {
+    net.Send(MakePacket(0, 1, 5, 0));
+  }
+  sim.Run();
+  EXPECT_EQ(received, kPackets);
+  const double ns_per_packet = static_cast<double>(sim.now()) / kPackets;
+  EXPECT_NEAR(ns_per_packet, 10.0, 1.0);
+}
+
+TEST(Network, EffectiveSmallPacketBandwidthMatchesPaper) {
+  // §8.4: with the default calibration, the ccKVS small-packet mix (41 B
+  // requests + 72 B responses) must sustain about 21.5 Gb/s per port even
+  // though the line rate is 54 Gb/s — the switch pps limit binds.
+  Simulator sim;
+  NetConfig cfg;  // defaults: 54 Gb/s, 47.6 Mpps
+  Network net(&sim, cfg);
+  std::uint64_t received_bytes = 0;
+  net.SetDeliverHandler(1, [&](const Packet& p) { received_bytes += p.wire_bytes(); });
+  const int kPairs = 20000;
+  for (int i = 0; i < kPairs; ++i) {
+    net.Send(MakePacket(0, 1, 31, 10));  // 41 B request
+    net.Send(MakePacket(0, 1, 31, 41));  // 72 B response
+  }
+  sim.Run();
+  const double gbps =
+      static_cast<double>(received_bytes) * 8.0 / static_cast<double>(sim.now());
+  EXPECT_NEAR(gbps, 21.5, 0.8);
+
+  // Large packets from a second run must instead approach the line rate.
+  Simulator sim2;
+  Network net2(&sim2, cfg);
+  std::uint64_t bytes2 = 0;
+  net2.SetDeliverHandler(1, [&](const Packet& p) { bytes2 += p.wire_bytes(); });
+  for (int i = 0; i < 5000; ++i) {
+    net2.Send(MakePacket(0, 1, 31, 1024));
+  }
+  sim2.Run();
+  const double gbps2 = static_cast<double>(bytes2) * 8.0 / static_cast<double>(sim2.now());
+  EXPECT_NEAR(gbps2, 54.0, 2.0);
+}
+
+TEST(Network, IncastBottlenecksOnReceiverPort) {
+  // All other nodes blast one receiver with tiny packets; aggregate delivery
+  // rate is capped by the single egress port, not by the three senders.
+  Simulator sim;
+  Network net(&sim, SmallRack());
+  int received = 0;
+  net.SetDeliverHandler(0, [&](const Packet&) { ++received; });
+  const int kEach = 100;
+  for (int i = 0; i < kEach; ++i) {
+    for (NodeId src : {1, 2, 3}) {
+      net.Send(MakePacket(src, 0, 5, 0));
+    }
+  }
+  sim.Run();
+  EXPECT_EQ(received, 3 * kEach);
+  // Egress port: 10ns/packet -> 300 packets take ~3000ns (not ~1000ns).
+  EXPECT_GE(sim.now(), 2900u);
+}
+
+TEST(Network, DistinctReceiversScaleOut) {
+  // Same offered load spread over 3 receivers: ~3x faster than incast.
+  Simulator sim;
+  Network net(&sim, SmallRack());
+  int received = 0;
+  for (NodeId n : {1, 2, 3}) {
+    net.SetDeliverHandler(n, [&](const Packet&) { ++received; });
+  }
+  const int kEach = 100;
+  for (int i = 0; i < kEach; ++i) {
+    for (NodeId dst : {1, 2, 3}) {
+      net.Send(MakePacket(0, dst, 5, 0));
+    }
+  }
+  sim.Run();
+  EXPECT_EQ(received, 3 * kEach);
+  // Sender ingress port is now the shared bottleneck: 300 packets * 10ns.
+  EXPECT_NEAR(static_cast<double>(sim.now()), 3000.0, 150.0);
+}
+
+TEST(Network, MulticastPaysSenderOnce) {
+  // Unicast to 3 receivers costs 3 TX serializations; multicast costs one.
+  Simulator sim;
+  Network net(&sim, SmallRack());
+  int received = 0;
+  for (NodeId n : {1, 2, 3}) {
+    net.SetDeliverHandler(n, [&](const Packet&) { ++received; });
+  }
+  Packet p = MakePacket(0, 0, 40, 960, TrafficClass::kUpdate);
+  net.SendMulticast(p, {1, 2, 3});
+  sim.Run();
+  EXPECT_EQ(received, 3);
+  EXPECT_EQ(net.tx_wire_busy_ns(0), 1000u);  // one serialization, not three
+  // Each receiver still pays its own RX serialization.
+  for (NodeId n : {1, 2, 3}) {
+    EXPECT_EQ(net.rx_wire_busy_ns(n), 1000u);
+  }
+}
+
+TEST(Network, MulticastSkipsSender) {
+  Simulator sim;
+  Network net(&sim, SmallRack());
+  int self_delivered = 0;
+  int other_delivered = 0;
+  net.SetDeliverHandler(0, [&](const Packet&) { ++self_delivered; });
+  net.SetDeliverHandler(1, [&](const Packet&) { ++other_delivered; });
+  Packet p = MakePacket(0, 0, 10, 10, TrafficClass::kUpdate);
+  net.SendMulticast(p, {0, 1});
+  sim.Run();
+  EXPECT_EQ(self_delivered, 0);
+  EXPECT_EQ(other_delivered, 1);
+}
+
+TEST(NetworkStats, PerClassAccounting) {
+  Simulator sim;
+  Network net(&sim, SmallRack());
+  net.SetDeliverHandler(1, [](const Packet&) {});
+  net.Send(MakePacket(0, 1, 31, 10, TrafficClass::kRemoteRequest));
+  net.Send(MakePacket(0, 1, 31, 41, TrafficClass::kRemoteResponse));
+  net.Send(MakePacket(0, 1, 31, 0, TrafficClass::kCreditUpdate));
+  sim.Run();
+  const NetworkStats& s = net.stats();
+  EXPECT_EQ(s.packets(TrafficClass::kRemoteRequest), 1u);
+  EXPECT_EQ(s.header_bytes(TrafficClass::kRemoteRequest), 31u);
+  EXPECT_EQ(s.payload_bytes(TrafficClass::kRemoteRequest), 10u);
+  EXPECT_EQ(s.total_bytes(TrafficClass::kRemoteResponse), 72u);
+  EXPECT_EQ(s.total_bytes(TrafficClass::kCreditUpdate), 31u);
+  EXPECT_EQ(s.total_packets(), 3u);
+  EXPECT_EQ(s.total_bytes(), 41u + 72u + 31u);
+  EXPECT_EQ(s.node_tx_bytes(0), s.total_bytes());
+  EXPECT_EQ(s.node_rx_bytes(1), s.total_bytes());
+}
+
+TEST(NetworkStats, ResetZeroes) {
+  Simulator sim;
+  Network net(&sim, SmallRack());
+  net.SetDeliverHandler(1, [](const Packet&) {});
+  net.Send(MakePacket(0, 1, 31, 10));
+  sim.Run();
+  net.mutable_stats().Reset();
+  EXPECT_EQ(net.stats().total_packets(), 0u);
+  EXPECT_EQ(net.stats().total_bytes(), 0u);
+}
+
+TEST(Network, NicMessageRateCapsDirectPath) {
+  // §8.4 validation: with the switch bypassed, tiny packets are limited by the
+  // NIC's own message rate, which sits 25% above the switch port's.
+  Simulator sim;
+  NetConfig cfg;  // defaults: nic 59.5 Mpps, switch 47.6 Mpps
+  cfg.through_switch = false;
+  Network net(&sim, cfg);
+  int received = 0;
+  net.SetDeliverHandler(1, [&](const Packet&) { ++received; });
+  const int kPackets = 10000;
+  for (int i = 0; i < kPackets; ++i) {
+    net.Send(MakePacket(0, 1, 31, 10));
+  }
+  sim.Run();
+  const double mpps = static_cast<double>(received) * 1e3 / static_cast<double>(sim.now());
+  EXPECT_NEAR(mpps, 59.5, 1.5);
+
+  Simulator sim2;
+  cfg.through_switch = true;
+  Network net2(&sim2, cfg);
+  int received2 = 0;
+  net2.SetDeliverHandler(1, [&](const Packet&) { ++received2; });
+  for (int i = 0; i < kPackets; ++i) {
+    net2.Send(MakePacket(0, 1, 31, 10));
+  }
+  sim2.Run();
+  const double mpps2 =
+      static_cast<double>(received2) * 1e3 / static_cast<double>(sim2.now());
+  EXPECT_NEAR(mpps2, 47.6, 1.5);
+  EXPECT_NEAR(mpps / mpps2, 1.25, 0.05);  // "up to 25% higher" when direct
+}
+
+TEST(Network, DeliveryOrderPreservedPerPath) {
+  // Two packets from the same source to the same destination must arrive in
+  // send order (the stations are FIFO).
+  Simulator sim;
+  Network net(&sim, SmallRack());
+  std::vector<std::uint32_t> sizes;
+  net.SetDeliverHandler(1, [&](const Packet& p) { sizes.push_back(p.payload_bytes); });
+  net.Send(MakePacket(0, 1, 10, 100));
+  net.Send(MakePacket(0, 1, 10, 1));
+  sim.Run();
+  EXPECT_EQ(sizes, (std::vector<std::uint32_t>{100, 1}));
+}
+
+}  // namespace
+}  // namespace cckvs

@@ -1,0 +1,434 @@
+// Unit tests for the SC and Lin coherence engines, driven through a scripted
+// message fabric that can delay and reorder deliveries arbitrarily (UD gives no
+// ordering guarantees).
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cache/symmetric_cache.h"
+#include "src/common/rng.h"
+#include "src/protocol/engine.h"
+
+namespace cckvs {
+namespace {
+
+constexpr Key kKey = 77;
+
+// A fabric connecting N engines; messages queue per destination and are
+// delivered under test control (in order, reordered, or selectively).
+class FakeFabric {
+ public:
+  explicit FakeFabric(int n, ConsistencyModel model) : n_(n) {
+    for (int i = 0; i < n; ++i) {
+      caches_.push_back(std::make_unique<SymmetricCache>(4));
+      caches_.back()->InstallHotSet({kKey});
+      caches_.back()->Fill(kKey, "init", Timestamp{0, 0});
+      sinks_.push_back(std::make_unique<Sink>(this, static_cast<NodeId>(i)));
+    }
+    for (int i = 0; i < n; ++i) {
+      if (model == ConsistencyModel::kSc) {
+        engines_.push_back(std::make_unique<ScEngine>(static_cast<NodeId>(i), n,
+                                                      caches_[static_cast<std::size_t>(i)].get(),
+                                                      sinks_[static_cast<std::size_t>(i)].get()));
+      } else {
+        engines_.push_back(std::make_unique<LinEngine>(static_cast<NodeId>(i), n,
+                                                       caches_[static_cast<std::size_t>(i)].get(),
+                                                       sinks_[static_cast<std::size_t>(i)].get()));
+      }
+    }
+  }
+
+  struct Msg {
+    enum class Type { kUpd, kInv, kAck } type;
+    NodeId from;
+    NodeId to;
+    UpdateMsg upd;
+    InvalidateMsg inv;
+    AckMsg ack;
+  };
+
+  CoherenceEngine& engine(int i) { return *engines_[static_cast<std::size_t>(i)]; }
+  CacheEntry& entry(int i) {
+    return *caches_[static_cast<std::size_t>(i)]->Find(kKey);
+  }
+  std::deque<Msg>& queue() { return queue_; }
+
+  void DeliverOne(std::size_t index = 0) {
+    Msg m = queue_[index];
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+    switch (m.type) {
+      case Msg::Type::kUpd:
+        engine(m.to).OnUpdate(m.from, m.upd);
+        break;
+      case Msg::Type::kInv:
+        engine(m.to).OnInvalidate(m.from, m.inv);
+        break;
+      case Msg::Type::kAck:
+        engine(m.to).OnAck(m.from, m.ack);
+        break;
+    }
+  }
+
+  void DeliverAllInOrder() {
+    while (!queue_.empty()) {
+      DeliverOne(0);
+    }
+  }
+
+  void DeliverAllRandomOrder(Rng& rng) {
+    while (!queue_.empty()) {
+      DeliverOne(rng.NextBounded(queue_.size()));
+    }
+  }
+
+ private:
+  class Sink final : public MessageSink {
+   public:
+    Sink(FakeFabric* fabric, NodeId self) : fabric_(fabric), self_(self) {}
+    void BroadcastUpdate(const UpdateMsg& msg) override {
+      for (int j = 0; j < fabric_->n_; ++j) {
+        if (j != self_) {
+          Msg m;
+          m.type = Msg::Type::kUpd;
+          m.from = self_;
+          m.to = static_cast<NodeId>(j);
+          m.upd = msg;
+          fabric_->queue_.push_back(m);
+        }
+      }
+    }
+    void BroadcastInvalidate(const InvalidateMsg& msg) override {
+      for (int j = 0; j < fabric_->n_; ++j) {
+        if (j != self_) {
+          Msg m;
+          m.type = Msg::Type::kInv;
+          m.from = self_;
+          m.to = static_cast<NodeId>(j);
+          m.inv = msg;
+          fabric_->queue_.push_back(m);
+        }
+      }
+    }
+    void SendAck(NodeId to, const AckMsg& msg) override {
+      Msg m;
+      m.type = Msg::Type::kAck;
+      m.from = self_;
+      m.to = to;
+      m.ack = msg;
+      fabric_->queue_.push_back(m);
+    }
+
+   private:
+    FakeFabric* fabric_;
+    NodeId self_;
+  };
+
+  int n_;
+  std::vector<std::unique_ptr<SymmetricCache>> caches_;
+  std::vector<std::unique_ptr<Sink>> sinks_;
+  std::vector<std::unique_ptr<CoherenceEngine>> engines_;
+  std::deque<Msg> queue_;
+};
+
+// ---------------------------------------------------------------------------
+// SC protocol
+// ---------------------------------------------------------------------------
+
+TEST(ScProtocol, WriteAppliesLocallyImmediately) {
+  FakeFabric f(3, ConsistencyModel::kSc);
+  bool done = false;
+  const auto r = f.engine(0).Write(kKey, "new", [&] { done = true; });
+  EXPECT_EQ(r, CoherenceEngine::WriteResult::kCompleted);
+  EXPECT_TRUE(done);  // SC writes are non-blocking
+  EXPECT_EQ(f.entry(0).value, "new");
+  EXPECT_EQ(f.entry(0).ts(), (Timestamp{1, 0}));
+  // Peers have not applied yet (updates still in flight) — SC permits this.
+  EXPECT_EQ(f.entry(1).value, "init");
+  EXPECT_EQ(f.queue().size(), 2u);
+}
+
+TEST(ScProtocol, UpdatePropagatesToAll) {
+  FakeFabric f(3, ConsistencyModel::kSc);
+  f.engine(0).Write(kKey, "new", nullptr);
+  f.DeliverAllInOrder();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(f.entry(i).value, "new");
+    EXPECT_EQ(f.entry(i).ts(), (Timestamp{1, 0}));
+  }
+}
+
+TEST(ScProtocol, ConcurrentWritesConvergeByTimestamp) {
+  FakeFabric f(3, ConsistencyModel::kSc);
+  f.engine(0).Write(kKey, "from-0", nullptr);  // ts {1,0}
+  f.engine(1).Write(kKey, "from-1", nullptr);  // ts {1,1} — wins the tie-break
+  f.DeliverAllInOrder();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(f.entry(i).value, "from-1") << "node " << i;
+    EXPECT_EQ(f.entry(i).ts(), (Timestamp{1, 1}));
+  }
+}
+
+TEST(ScProtocol, StaleUpdateDiscarded) {
+  FakeFabric f(2, ConsistencyModel::kSc);
+  f.engine(0).Write(kKey, "w1", nullptr);
+  f.DeliverAllInOrder();
+  // A replayed/late update with an old timestamp must not regress the entry.
+  f.engine(1).OnUpdate(0, UpdateMsg{kKey, "old", Timestamp{0, 0}});
+  EXPECT_EQ(f.entry(1).value, "w1");
+  const auto& stats = f.engine(1).stats();
+  EXPECT_EQ(stats.updates_discarded, 1u);
+}
+
+TEST(ScProtocol, RandomizedConvergence) {
+  // Many concurrent writes delivered in random order: all replicas converge on
+  // the max-timestamp value (write serialization via Lamport clocks).
+  Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    FakeFabric f(4, ConsistencyModel::kSc);
+    for (int w = 0; w < 6; ++w) {
+      const int node = static_cast<int>(rng.NextBounded(4));
+      f.engine(node).Write(kKey, "w" + std::to_string(w), nullptr);
+      if (rng.NextBool(0.5) && !f.queue().empty()) {
+        f.DeliverOne(rng.NextBounded(f.queue().size()));
+      }
+    }
+    f.DeliverAllRandomOrder(rng);
+    const Timestamp ts0 = f.entry(0).ts();
+    const Value v0 = f.entry(0).value;
+    for (int i = 1; i < 4; ++i) {
+      ASSERT_EQ(f.entry(i).ts(), ts0) << "round " << round;
+      ASSERT_EQ(f.entry(i).value, v0) << "round " << round;
+    }
+  }
+}
+
+TEST(ScProtocol, ReadsAlwaysHitValidEntries) {
+  FakeFabric f(2, ConsistencyModel::kSc);
+  Value v;
+  Timestamp ts;
+  EXPECT_EQ(f.engine(0).Read(kKey, &v, &ts, nullptr),
+            CoherenceEngine::ReadResult::kHit);
+  EXPECT_EQ(v, "init");
+}
+
+// ---------------------------------------------------------------------------
+// Lin protocol
+// ---------------------------------------------------------------------------
+
+TEST(LinProtocol, WriteBlocksUntilAllAcks) {
+  FakeFabric f(3, ConsistencyModel::kLin);
+  bool done = false;
+  const auto r = f.engine(0).Write(kKey, "new", [&] { done = true; });
+  EXPECT_EQ(r, CoherenceEngine::WriteResult::kPending);
+  EXPECT_FALSE(done);
+  EXPECT_EQ(f.entry(0).state(), CacheState::kWrite);
+  EXPECT_EQ(f.queue().size(), 2u);  // two invalidations
+  f.DeliverOne(0);                  // inv at node 1 -> ack queued
+  EXPECT_FALSE(done);
+  EXPECT_EQ(f.entry(1).state(), CacheState::kInvalid);
+  f.DeliverAllInOrder();  // second inv, both acks, then updates
+  EXPECT_TRUE(done);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(f.entry(i).state(), CacheState::kValid);
+    EXPECT_EQ(f.entry(i).value, "new");
+  }
+}
+
+TEST(LinProtocol, ReadBlocksOnInvalidEntry) {
+  FakeFabric f(3, ConsistencyModel::kLin);
+  f.engine(0).Write(kKey, "new", nullptr);
+  f.DeliverOne(0);  // node 1 invalidated
+  Value read_value;
+  bool resumed = false;
+  const auto r = f.engine(1).Read(kKey, nullptr, nullptr,
+                                  [&](const Value& v, Timestamp) {
+                                    resumed = true;
+                                    read_value = v;
+                                  });
+  EXPECT_EQ(r, CoherenceEngine::ReadResult::kBlocked);
+  f.DeliverAllInOrder();
+  EXPECT_TRUE(resumed);
+  EXPECT_EQ(read_value, "new");  // the blocked read observes the new value
+}
+
+TEST(LinProtocol, ReadBlocksAtWriterDuringWrite) {
+  // Lin condition: a get may return a value only after the put returned, so
+  // even the writer's own node must not serve the new value early.
+  FakeFabric f(3, ConsistencyModel::kLin);
+  f.engine(0).Write(kKey, "new", nullptr);
+  bool resumed = false;
+  const auto r =
+      f.engine(0).Read(kKey, nullptr, nullptr, [&](const Value&, Timestamp) {
+        resumed = true;
+      });
+  EXPECT_EQ(r, CoherenceEngine::ReadResult::kBlocked);
+  f.DeliverAllInOrder();
+  EXPECT_TRUE(resumed);
+}
+
+TEST(LinProtocol, StaleInvalidationStillAcked) {
+  // Deadlock freedom hinges on unconditional acks.
+  FakeFabric f(2, ConsistencyModel::kLin);
+  f.engine(0).Write(kKey, "w", nullptr);
+  f.DeliverAllInOrder();
+  const auto acks_before = f.queue().size();
+  f.engine(1).OnInvalidate(0, InvalidateMsg{kKey, Timestamp{0, 0}});  // stale
+  EXPECT_EQ(f.queue().size(), acks_before + 1);  // ack queued anyway
+  EXPECT_EQ(f.entry(1).state(), CacheState::kValid);  // but no state change
+  EXPECT_GE(f.engine(1).stats().invalidations_stale, 1u);
+}
+
+TEST(LinProtocol, ConcurrentWritersHigherTimestampWins) {
+  FakeFabric f(3, ConsistencyModel::kLin);
+  bool done0 = false;
+  bool done1 = false;
+  f.engine(0).Write(kKey, "w0", [&] { done0 = true; });  // ts {1,0}
+  f.engine(1).Write(kKey, "w1", [&] { done1 = true; });  // ts {1,1}
+  f.DeliverAllInOrder();
+  EXPECT_TRUE(done0);
+  EXPECT_TRUE(done1);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(f.entry(i).state(), CacheState::kValid) << "node " << i;
+    EXPECT_EQ(f.entry(i).value, "w1") << "node " << i;
+    EXPECT_EQ(f.entry(i).ts(), (Timestamp{1, 1}));
+  }
+  EXPECT_EQ(f.engine(0).stats().writes_superseded, 1u);
+}
+
+TEST(LinProtocol, UpdateOvertakingInvalidationIsSafe) {
+  // UD reorders: deliver node 1's messages update-first.
+  FakeFabric f(2, ConsistencyModel::kLin);
+  f.engine(0).Write(kKey, "w", nullptr);
+  // queue: [inv->1]; deliver it, collect ack, produce update.
+  f.DeliverOne(0);                       // inv -> node 1 (acks)
+  // queue: [ack->0]; deliver ack, update is broadcast.
+  f.DeliverOne(0);
+  // Now simulate the update arriving at a node that never saw the inv: a fresh
+  // write from node 1 proceeds with a *newer* ts while node 0's update is in
+  // flight; then deliver out of order.
+  f.engine(1).Write(kKey, "w2", nullptr);
+  // Deliver in reverse: the last message first.
+  while (!f.queue().empty()) {
+    f.DeliverOne(f.queue().size() - 1);
+  }
+  EXPECT_EQ(f.entry(0).value, "w2");
+  EXPECT_EQ(f.entry(1).value, "w2");
+  EXPECT_EQ(f.entry(0).state(), CacheState::kValid);
+  EXPECT_EQ(f.entry(1).state(), CacheState::kValid);
+}
+
+TEST(LinProtocol, LocalWritesQueuePerKey) {
+  FakeFabric f(2, ConsistencyModel::kLin);
+  std::vector<int> completion_order;
+  f.engine(0).Write(kKey, "first", [&] { completion_order.push_back(1); });
+  f.engine(0).Write(kKey, "second", [&] { completion_order.push_back(2); });
+  EXPECT_EQ(f.engine(0).stats().local_writes_queued, 1u);
+  f.DeliverAllInOrder();
+  EXPECT_EQ(completion_order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(f.entry(0).value, "second");
+  EXPECT_EQ(f.entry(1).value, "second");
+}
+
+TEST(LinProtocol, SingleNodeDegeneratesToLocalWrite) {
+  FakeFabric f(1, ConsistencyModel::kLin);
+  bool done = false;
+  f.engine(0).Write(kKey, "solo", [&] { done = true; });
+  EXPECT_TRUE(done);  // no sharers: completes inline
+  EXPECT_EQ(f.entry(0).state(), CacheState::kValid);
+  EXPECT_EQ(f.entry(0).value, "solo");
+}
+
+TEST(LinProtocol, RandomizedConvergenceAndCompletion) {
+  // Arbitrary write mix with random delivery order: every write's done callback
+  // must fire (deadlock freedom) and all replicas converge to the max-ts value.
+  Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    FakeFabric f(3, ConsistencyModel::kLin);
+    int completed = 0;
+    int issued = 0;
+    for (int w = 0; w < 5; ++w) {
+      const int node = static_cast<int>(rng.NextBounded(3));
+      ++issued;
+      f.engine(node).Write(kKey, "w" + std::to_string(w), [&] { ++completed; });
+      for (int d = 0; d < 2 && !f.queue().empty(); ++d) {
+        if (rng.NextBool(0.7)) {
+          f.DeliverOne(rng.NextBounded(f.queue().size()));
+        }
+      }
+    }
+    f.DeliverAllRandomOrder(rng);
+    ASSERT_EQ(completed, issued) << "round " << round;
+    const Timestamp ts0 = f.entry(0).ts();
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_EQ(f.entry(i).state(), CacheState::kValid) << "round " << round;
+      ASSERT_EQ(f.entry(i).ts(), ts0);
+      ASSERT_EQ(f.entry(i).value, f.entry(0).value);
+    }
+  }
+}
+
+TEST(LinProtocol, ValueTsTracksInstalledValueNotPromisedOne) {
+  // While node 1 is Invalid for ts {1,0}, its installed value is still the
+  // initial one; value_ts must say so (write-back flush correctness).
+  FakeFabric f(2, ConsistencyModel::kLin);
+  f.engine(0).Write(kKey, "w", nullptr);
+  f.DeliverOne(0);  // inv at node 1
+  EXPECT_EQ(f.entry(1).state(), CacheState::kInvalid);
+  EXPECT_EQ(f.entry(1).ts(), (Timestamp{1, 0}));       // promised
+  EXPECT_EQ(f.entry(1).value_ts, (Timestamp{0, 0}));   // installed
+  EXPECT_EQ(f.entry(1).value, "init");
+  f.DeliverAllInOrder();
+  EXPECT_EQ(f.entry(1).value_ts, (Timestamp{1, 0}));
+}
+
+// ---------------------------------------------------------------------------
+// Cross-model checks
+// ---------------------------------------------------------------------------
+
+TEST(Protocols, ScAllowsStaleReadLinDoesNot) {
+  // The Figure 5 scenario: session A writes, session B (other node) reads.
+  // SC: B may read the old value.  Lin: B must block until the write reaches it.
+  {
+    FakeFabric f(2, ConsistencyModel::kSc);
+    f.engine(0).Write(kKey, "new", nullptr);
+    Value v;
+    EXPECT_EQ(f.engine(1).Read(kKey, &v, nullptr, nullptr),
+              CoherenceEngine::ReadResult::kHit);
+    EXPECT_EQ(v, "init");  // stale read allowed under SC
+  }
+  {
+    FakeFabric f(2, ConsistencyModel::kLin);
+    f.engine(0).Write(kKey, "new", nullptr);
+    f.DeliverOne(0);  // invalidation reaches node 1 before the read
+    Value observed;
+    bool resumed = false;
+    const auto r = f.engine(1).Read(kKey, nullptr, nullptr,
+                                    [&](const Value& v, Timestamp) {
+                                      resumed = true;
+                                      observed = v;
+                                    });
+    EXPECT_EQ(r, CoherenceEngine::ReadResult::kBlocked);
+    f.DeliverAllInOrder();
+    EXPECT_TRUE(resumed);
+    EXPECT_EQ(observed, "new");  // never the stale value
+  }
+}
+
+TEST(Protocols, QuiescentAfterDrain) {
+  for (auto model : {ConsistencyModel::kSc, ConsistencyModel::kLin}) {
+    FakeFabric f(3, model);
+    f.engine(0).Write(kKey, "a", nullptr);
+    f.engine(2).Write(kKey, "b", nullptr);
+    f.DeliverAllInOrder();
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_TRUE(f.engine(i).Quiescent()) << ToString(model) << " node " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cckvs

@@ -1,0 +1,207 @@
+// Unit tests for the discrete-event engine and service pools.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace cckvs {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(30, [&] { order.push_back(3); });
+  sim.At(10, [&] { order.push_back(1); });
+  sim.At(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulator, SameTimeIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.At(5, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Simulator, AfterIsRelative) {
+  Simulator sim;
+  SimTime fired_at = 0;
+  sim.At(100, [&] {
+    sim.After(50, [&] { fired_at = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) {
+      sim.After(1, chain);
+    }
+  };
+  sim.After(0, chain);
+  const std::uint64_t executed = sim.Run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(executed, 100u);
+  EXPECT_EQ(sim.now(), 99u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(10, [&] { ++fired; });
+  sim.At(20, [&] { ++fired; });
+  sim.At(30, [&] { ++fired; });
+  sim.RunUntil(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20u);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenQueueDrains) {
+  Simulator sim;
+  sim.At(5, [] {});
+  sim.RunUntil(1000);
+  EXPECT_EQ(sim.now(), 1000u);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(1, [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.At(2, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorDeathTest, SchedulingInThePastAborts) {
+  Simulator sim;
+  sim.At(100, [] {});
+  sim.Run();
+  EXPECT_DEATH(sim.At(50, [] {}), "CHECK");
+}
+
+// ---------------------------------------------------------------------------
+// ServicePool
+// ---------------------------------------------------------------------------
+
+TEST(ServicePool, SingleServerSerializes) {
+  Simulator sim;
+  ServicePool pool(&sim, 1);
+  std::vector<SimTime> done_at;
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit(10, [&] { done_at.push_back(sim.now()); });
+  }
+  sim.Run();
+  EXPECT_EQ(done_at, (std::vector<SimTime>{10, 20, 30}));
+  EXPECT_EQ(pool.completed(), 3u);
+}
+
+TEST(ServicePool, MultiServerRunsInParallel) {
+  Simulator sim;
+  ServicePool pool(&sim, 3);
+  std::vector<SimTime> done_at;
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit(10, [&] { done_at.push_back(sim.now()); });
+  }
+  sim.Run();
+  EXPECT_EQ(done_at, (std::vector<SimTime>{10, 10, 10}));
+}
+
+TEST(ServicePool, QueueDrainsInFifoOrder) {
+  Simulator sim;
+  ServicePool pool(&sim, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    pool.Submit(7, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ServicePool, MixedServiceTimes) {
+  // Two servers: job A (100ns) and B (10ns) start together; C (5ns) runs on
+  // whichever frees first (B's server at t=10), finishing at 15.
+  Simulator sim;
+  ServicePool pool(&sim, 2);
+  std::vector<std::pair<char, SimTime>> done;
+  pool.Submit(100, [&] { done.push_back({'A', sim.now()}); });
+  pool.Submit(10, [&] { done.push_back({'B', sim.now()}); });
+  pool.Submit(5, [&] { done.push_back({'C', sim.now()}); });
+  sim.Run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], (std::pair<char, SimTime>{'B', 10}));
+  EXPECT_EQ(done[1], (std::pair<char, SimTime>{'C', 15}));
+  EXPECT_EQ(done[2], (std::pair<char, SimTime>{'A', 100}));
+}
+
+TEST(ServicePool, UtilizationAccounting) {
+  Simulator sim;
+  ServicePool pool(&sim, 2);
+  pool.Submit(100, nullptr);
+  pool.Submit(100, nullptr);
+  sim.Run();
+  // Both servers busy for the whole 100ns run.
+  EXPECT_DOUBLE_EQ(pool.Utilization(), 1.0);
+}
+
+TEST(ServicePool, ThroughputMatchesServiceRate) {
+  // c servers with service time s sustain c/s jobs per ns.
+  Simulator sim;
+  ServicePool pool(&sim, 4);
+  int completed = 0;
+  const int jobs = 1000;
+  for (int i = 0; i < jobs; ++i) {
+    pool.Submit(25, [&] { ++completed; });
+  }
+  sim.Run();
+  EXPECT_EQ(completed, jobs);
+  // 1000 jobs * 25ns / 4 servers = 6250ns makespan.
+  EXPECT_EQ(sim.now(), 6250u);
+}
+
+TEST(ServicePool, ZeroServiceTimeJobs) {
+  Simulator sim;
+  ServicePool pool(&sim, 1);
+  int done = 0;
+  pool.Submit(0, [&] { ++done; });
+  pool.Submit(0, [&] { ++done; });
+  sim.Run();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(sim.now(), 0u);
+}
+
+TEST(ServicePool, CompletionCanSubmitMore) {
+  Simulator sim;
+  ServicePool pool(&sim, 1);
+  int chain = 0;
+  std::function<void()> next = [&] {
+    if (++chain < 10) {
+      pool.Submit(3, next);
+    }
+  };
+  pool.Submit(3, next);
+  sim.Run();
+  EXPECT_EQ(chain, 10);
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+}  // namespace
+}  // namespace cckvs

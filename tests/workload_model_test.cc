@@ -1,0 +1,234 @@
+// Unit tests for workload generation and the analytical model (§8.7).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/zipf.h"
+#include "src/model/analytical.h"
+#include "src/workload/workload.h"
+
+namespace cckvs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Workload
+// ---------------------------------------------------------------------------
+
+WorkloadConfig SmallWorkload() {
+  WorkloadConfig cfg;
+  cfg.keyspace = 10000;
+  cfg.zipf_alpha = 0.99;
+  cfg.write_ratio = 0.1;
+  cfg.value_bytes = 40;
+  return cfg;
+}
+
+TEST(Workload, OpsHaveRequestedShape) {
+  WorkloadGenerator gen(SmallWorkload(), 1, 42);
+  int puts = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const Op op = gen.Next();
+    ASSERT_LT(op.key, 10000u);
+    if (op.type == OpType::kPut) {
+      ++puts;
+      ASSERT_EQ(op.value.size(), 40u);
+    } else {
+      ASSERT_TRUE(op.value.empty());
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(puts) / n, 0.1, 0.01);
+}
+
+TEST(Workload, HottestKeysMatchEmpiricalFrequency) {
+  WorkloadConfig cfg = SmallWorkload();
+  cfg.write_ratio = 0;
+  WorkloadGenerator gen(cfg, 1, 7);
+  const auto hottest = gen.HottestKeys(10);
+  std::unordered_set<Key> hot(hottest.begin(), hottest.end());
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (hot.count(gen.Next().key)) {
+      ++hits;
+    }
+  }
+  const double expected = ZipfCdf(10, cfg.keyspace, cfg.zipf_alpha);
+  EXPECT_NEAR(static_cast<double>(hits) / n, expected, 0.01);
+}
+
+TEST(Workload, GeneratorsAgreeOnKeyMapping) {
+  // Different nodes (seeds, tags) must map ranks to the same key ids.
+  WorkloadGenerator a(SmallWorkload(), 1, 1);
+  WorkloadGenerator b(SmallWorkload(), 2, 999);
+  for (std::uint64_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(a.KeyOfRank(r), b.KeyOfRank(r));
+  }
+}
+
+TEST(Workload, WriteValuesGloballyUnique) {
+  WorkloadGenerator a(SmallWorkload(), 1, 5);
+  WorkloadGenerator b(SmallWorkload(), 2, 5);
+  std::unordered_set<std::string> values;
+  for (int i = 0; i < 5000; ++i) {
+    const Op opa = a.Next();
+    if (opa.type == OpType::kPut) {
+      ASSERT_TRUE(values.insert(opa.value).second);
+    }
+    const Op opb = b.Next();
+    if (opb.type == OpType::kPut) {
+      ASSERT_TRUE(values.insert(opb.value).second);
+    }
+  }
+}
+
+TEST(Workload, WriteValueRoundTrip) {
+  const Value v = MakeWriteValue(42, 1234567, 64);
+  EXPECT_EQ(v.size(), 64u);
+  std::uint32_t tag = 0;
+  std::uint64_t seq = 0;
+  ASSERT_TRUE(ParseWriteValue(v, &tag, &seq));
+  EXPECT_EQ(tag, 42u);
+  EXPECT_EQ(seq, 1234567u);
+}
+
+TEST(Workload, SynthesizedValuesAreDeterministicAndDistinct) {
+  EXPECT_EQ(SynthesizeValue(5, 40), SynthesizeValue(5, 40));
+  EXPECT_NE(SynthesizeValue(5, 40), SynthesizeValue(6, 40));
+  EXPECT_FALSE(ParseWriteValue(SynthesizeValue(5, 40), nullptr, nullptr));
+  EXPECT_EQ(SynthesizeValue(5, 1024).size(), 1024u);
+}
+
+TEST(Workload, UniformAlphaZero) {
+  WorkloadConfig cfg = SmallWorkload();
+  cfg.zipf_alpha = 0.0;
+  cfg.write_ratio = 0.0;
+  WorkloadGenerator gen(cfg, 1, 3);
+  std::unordered_set<Key> distinct;
+  for (int i = 0; i < 20000; ++i) {
+    distinct.insert(gen.Next().key);
+  }
+  // Uniform over 10k keys: ~8650 distinct expected in 20k draws.
+  EXPECT_GT(distinct.size(), 8000u);
+}
+
+// ---------------------------------------------------------------------------
+// Analytical model (§8.7)
+// ---------------------------------------------------------------------------
+
+TEST(Model, PaperValidationPoint) {
+  // §8.7.1: with N=9, h=0.65, w=1%, B_RR=113, B_SC=83, B_Lin=183, BW=21.5Gbps:
+  // "ccKVS-SC and ccKVS-Lin are estimated to achieve 628 MRPS and 554 MRPS."
+  // Evaluating the equations exactly as printed gives 612.8 / 541.5 — within
+  // 2.5% of the quoted numbers (which match h≈0.66); assert both readings.
+  ModelParams p;  // defaults are exactly that configuration
+  EXPECT_NEAR(ThroughputScMrps(p), 628.0, 628.0 * 0.03);
+  EXPECT_NEAR(ThroughputLinMrps(p), 554.0, 554.0 * 0.03);
+  EXPECT_NEAR(ThroughputScMrps(p), 612.8, 1.0);
+  EXPECT_NEAR(ThroughputLinMrps(p), 541.5, 1.0);
+}
+
+TEST(Model, UniformMatchesMeasuredBaseline) {
+  // Uniform at 9 nodes: ~240 MRPS (§8.1).
+  ModelParams p;
+  EXPECT_NEAR(ThroughputUniformMrps(p), 240.0, 6.0);
+}
+
+TEST(Model, TrafficFormulas) {
+  ModelParams p;
+  p.num_servers = 9;
+  p.hit_ratio = 0.65;
+  p.write_ratio = 0.01;
+  // eq (1): (1-h)(1-1/N)B_RR = 0.35 * (8/9) * 113
+  EXPECT_NEAR(TrafficCacheMissBytes(p), 0.35 * 8.0 / 9.0 * 113.0, 1e-9);
+  // eq (2): h*w*(N-1)*B_Lin = 0.65 * 0.01 * 8 * 183
+  EXPECT_NEAR(TrafficLinBytes(p), 0.65 * 0.01 * 8 * 183.0, 1e-9);
+  // eq (4)
+  EXPECT_NEAR(TrafficScBytes(p), 0.65 * 0.01 * 8 * 83.0, 1e-9);
+  // eq (6)
+  EXPECT_NEAR(TrafficUniformBytes(p), 8.0 / 9.0 * 113.0, 1e-9);
+}
+
+TEST(Model, ReadOnlyCcKvsBeatsUniformByHitRate) {
+  ModelParams p;
+  p.write_ratio = 0.0;
+  // With w=0 the throughput ratio is exactly 1/(1-h).
+  EXPECT_NEAR(ThroughputScMrps(p) / ThroughputUniformMrps(p), 1.0 / 0.35, 1e-9);
+  EXPECT_NEAR(ThroughputLinMrps(p), ThroughputScMrps(p), 1e-9);
+}
+
+TEST(Model, ThroughputDecreasesWithWrites) {
+  ModelParams p;
+  double prev_sc = 1e18;
+  double prev_lin = 1e18;
+  for (double w : {0.0, 0.01, 0.02, 0.05}) {
+    p.write_ratio = w;
+    EXPECT_LT(ThroughputScMrps(p), prev_sc);
+    EXPECT_LT(ThroughputLinMrps(p), prev_lin);
+    EXPECT_LE(ThroughputLinMrps(p), ThroughputScMrps(p));
+    prev_sc = ThroughputScMrps(p);
+    prev_lin = ThroughputLinMrps(p);
+  }
+}
+
+TEST(Model, UniformScalesLinearly) {
+  ModelParams p;
+  p.num_servers = 10;
+  const double t10 = ThroughputUniformMrps(p);
+  p.num_servers = 40;
+  const double t40 = ThroughputUniformMrps(p);
+  // §8.7.1 calls Uniform "almost perfectly linear": T_U ∝ N²/(N-1), so the
+  // 10→40 ratio is (1600/39)/(100/9) ≈ 3.69 — linear shape, slope settling as
+  // the remote fraction (1-1/N) approaches 1.
+  EXPECT_NEAR(t40 / t10, 3.69, 0.05);
+  EXPECT_GT(t40, 3.5 * t10);
+}
+
+TEST(Model, CcKvsScalesSublinearlyWithWrites) {
+  ModelParams p;
+  p.write_ratio = 0.01;
+  p.num_servers = 10;
+  const double t10 = ThroughputScMrps(p);
+  p.num_servers = 40;
+  const double t40 = ThroughputScMrps(p);
+  EXPECT_LT(t40 / t10, 3.5);  // §8.7.1: consistency traffic grows with N
+  EXPECT_GT(t40 / t10, 1.5);
+}
+
+TEST(Model, BreakEvenMatchesPaper) {
+  ModelParams p;
+  // §8.7.2: "With 40 servers, the break-even write ratio is almost 4% for
+  // ccKVS-SC and 1.7% for ccKVS-Lin."
+  p.num_servers = 40;
+  EXPECT_NEAR(BreakEvenWriteRatioSc(p), 0.034, 0.006);
+  EXPECT_NEAR(BreakEvenWriteRatioLin(p), 0.0154, 0.003);
+  // "a ccKVS-SC deployment with 20 servers ... at a write ratio of 8%"
+  // (the closed form gives ~6.8%; the paper reads its chart generously).
+  p.num_servers = 20;
+  EXPECT_NEAR(BreakEvenWriteRatioSc(p), 0.068, 0.015);
+}
+
+TEST(Model, BreakEvenIsConsistentWithThroughputCurves) {
+  // At w = w_break_even the SC curve must cross Uniform.
+  ModelParams p;
+  p.num_servers = 24;
+  p.write_ratio = BreakEvenWriteRatioSc(p);
+  EXPECT_NEAR(ThroughputScMrps(p), ThroughputUniformMrps(p),
+              1e-6 * ThroughputUniformMrps(p));
+  p.write_ratio = BreakEvenWriteRatioLin(p);
+  EXPECT_NEAR(ThroughputLinMrps(p), ThroughputUniformMrps(p),
+              1e-6 * ThroughputUniformMrps(p));
+}
+
+TEST(Model, BreakEvenIndependentOfHitRatio) {
+  ModelParams a;
+  ModelParams b;
+  a.hit_ratio = 0.4;
+  b.hit_ratio = 0.9;
+  EXPECT_DOUBLE_EQ(BreakEvenWriteRatioSc(a), BreakEvenWriteRatioSc(b));
+}
+
+}  // namespace
+}  // namespace cckvs
