@@ -12,6 +12,18 @@
 // Run(measure, warmup) drives the load, discards the warmup window and returns
 // the measured RackReport.  With record_history set, every completed client
 // operation lands in a History for the per-key SC/Lin checkers.
+//
+// Typical use (see examples/quickstart.cpp for the narrated version):
+//
+//   RackParams p;                       // defaults = the paper's 9-node rack
+//   p.kind = SystemKind::kCcKvs;
+//   p.consistency = ConsistencyModel::kSc;
+//   RackSimulation rack(p);
+//   RackReport r = rack.Run(/*measure_ns=*/2'000'000, /*warmup_ns=*/500'000);
+//   // r.mrps, r.hit_rate, r.p99_latency_us, per-class traffic, ...
+//
+// Runs are deterministic in p.seed: identical params give bit-identical
+// reports, which is what the figure benches in bench/ rely on.
 
 #ifndef CCKVS_CCKVS_RACK_H_
 #define CCKVS_CCKVS_RACK_H_

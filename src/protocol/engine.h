@@ -21,6 +21,14 @@
 // host (rack simulation, unit test, or model checker) feeds incoming messages
 // back.  This is what lets the exhaustive checker explore every interleaving of
 // the exact production code paths.
+//
+// Threading model: an engine is single-threaded — the host serializes all
+// calls (client ops and message deliveries).  Completion is callback-based:
+// Write/Read return immediately and fire WriteDone/ReadDone when the
+// operation completes under the model's rules, so a blocking Lin write is
+// simply a callback deferred until the last ack.  See docs/ARCHITECTURE.md
+// for the full state machine, including the superseded-write and
+// update-overtakes-invalidation races.
 
 #ifndef CCKVS_PROTOCOL_ENGINE_H_
 #define CCKVS_PROTOCOL_ENGINE_H_

@@ -5,6 +5,14 @@
 // total: identical seeds and configs yield identical event interleavings, which is
 // what makes the protocol integration tests and the EXPERIMENTS.md numbers
 // reproducible bit-for-bit.
+//
+// Two building blocks live here:
+//   * Simulator   — the event queue itself: At()/After() schedule closures,
+//     Run()/RunUntil() drain them in (time, scheduling-order) order.  Nothing
+//     here is thread-safe; the whole simulation is single-threaded by design.
+//   * ServicePool — a bank of identical servers with one FIFO queue, used to
+//     model the CPU thread pools of §6.2 (worker/"cache" threads and KVS
+//     threads) and to report their utilization for the §8.4 bottleneck study.
 
 #ifndef CCKVS_SIM_SIMULATOR_H_
 #define CCKVS_SIM_SIMULATOR_H_
