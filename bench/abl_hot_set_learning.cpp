@@ -9,7 +9,8 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cckvs::bench::Init(argc, argv);
   using namespace cckvs;
   using namespace cckvs::bench;
 
@@ -32,7 +33,9 @@ int main() {
   std::printf("%-14s %10s %10s %8s %8s\n", "window (us)", "MRPS", "hit rate",
               "epochs", "churn");
   SimTime t = 0;
-  constexpr SimTime kSlice = 400'000;
+  // Consecutive slices of one long run (RunRack would restart the rack, so
+  // this bench drives RackSimulation directly and records entries itself).
+  const SimTime kSlice = Smoke() ? 150'000 : 400'000;
   for (int slice = 0; slice < 8; ++slice) {
     const bool last = slice == 7;
     const RackReport r = rack.Run(/*measure_ns=*/kSlice, /*warmup_ns=*/0,
@@ -43,6 +46,9 @@ int main() {
                 static_cast<unsigned long long>(t / 1000), r.mrps,
                 100.0 * r.hit_rate, static_cast<unsigned long long>(r.epochs),
                 static_cast<unsigned long long>(r.hot_set_churn));
+    char label[48];
+    std::snprintf(label, sizeof(label), "abl_hot_set_learning slice=%d", slice);
+    RecordEntry(label, ReportFields(r));
   }
   std::printf("\nexpected: hit rate ~0 before the first epoch closes, then jumps\n"
               "toward the Figure-3 steady state; churn settles to a handful of\n"

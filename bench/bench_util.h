@@ -6,15 +6,117 @@
 // simulator, so EXPERIMENTS.md compares shapes (orderings, ratios, crossovers)
 // rather than testbed-specific magnitudes.
 
+// Every binary accepts:
+//   --smoke        tiny simulation windows — seconds instead of minutes; CI's
+//                  bench-smoke job uses this to keep every figure runnable on
+//                  every PR
+//   --json=PATH    append each run's RackReport (plus its labelled params) to
+//                  PATH as a JSON array at exit, so runs diff PR-to-PR
+// Env fallbacks CCKVS_BENCH_SMOKE=1 / CCKVS_BENCH_JSON=PATH work when argv is
+// inconvenient (wrapper scripts).
+
 #ifndef CCKVS_BENCH_BENCH_UTIL_H_
 #define CCKVS_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "src/cckvs/rack.h"
+#include "src/cckvs/report_util.h"
 
 namespace cckvs {
 namespace bench {
+
+struct BenchFlags {
+  bool smoke = false;
+  std::string json_path;
+};
+
+struct JsonEntry {
+  std::string label;
+  std::vector<std::pair<std::string, double>> fields;
+};
+
+struct BenchState {
+  BenchFlags flags;
+  std::vector<JsonEntry> entries;
+};
+
+inline BenchState& State() {
+  static BenchState state;
+  return state;
+}
+
+inline bool Smoke() { return State().flags.smoke; }
+
+// Records one labelled result row for the JSON artifact.
+inline void RecordEntry(std::string label,
+                        std::vector<std::pair<std::string, double>> fields) {
+  if (!State().flags.json_path.empty()) {
+    State().entries.push_back(JsonEntry{std::move(label), std::move(fields)});
+  }
+}
+
+inline void WriteJson() {
+  BenchState& state = State();
+  if (state.flags.json_path.empty()) {
+    return;
+  }
+  std::FILE* f = std::fopen(state.flags.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", state.flags.json_path.c_str());
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < state.entries.size(); ++i) {
+    const JsonEntry& e = state.entries[i];
+    std::fprintf(f, "  {\"label\": \"%s\"", e.label.c_str());
+    for (const auto& [name, value] : e.fields) {
+      std::fprintf(f, ", \"%s\": %.17g", name.c_str(), value);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < state.entries.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+}
+
+// Call first in every bench main().  Parses flags and registers the JSON
+// writer to run at exit (after the bench's normal table output).
+inline void Init(int argc, char** argv) {
+  BenchFlags& flags = State().flags;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      flags.smoke = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      flags.json_path = argv[i] + 7;
+    }
+  }
+  if (const char* env = std::getenv("CCKVS_BENCH_SMOKE");
+      env != nullptr && env[0] != '\0' && env[0] != '0') {
+    flags.smoke = true;
+  }
+  if (const char* env = std::getenv("CCKVS_BENCH_JSON");
+      env != nullptr && flags.json_path.empty()) {
+    flags.json_path = env;
+  }
+  std::atexit(WriteJson);
+}
+
+// Human-readable label of a rack configuration, for JSON rows.
+inline std::string LabelOf(const RackParams& p) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s%s%s n=%d alpha=%.2f wr=%.2f vb=%u",
+                ToString(p.kind),
+                p.kind == SystemKind::kCcKvs ? "/" : "",
+                p.kind == SystemKind::kCcKvs ? ToString(p.consistency) : "",
+                p.num_nodes, p.workload.zipf_alpha, p.workload.write_ratio,
+                p.workload.value_bytes);
+  return buf;
+}
 
 // The paper's default rack: 9 nodes, 250M keys, 0.1% symmetric cache, 40B
 // values, alpha = 0.99 (§7.2).
@@ -48,9 +150,16 @@ struct RunWindows {
 // Base-EREW needs a long warmup: its hot-core queue fills slowly before the
 // system settles into the hot-core-bound steady state.  ccKVS runs with writes
 // need a long measurement window: hot-key write bursts and credit dynamics make
-// short windows noisy.
+// short windows noisy.  Under --smoke everything shrinks to a fixed tiny
+// window: shapes get noisy, but every binary finishes in seconds and still
+// exercises its full code path.
 inline RunWindows WindowsFor(const RackParams& p) {
   RunWindows w;
+  if (Smoke()) {
+    w.measure_ns = 60'000;
+    w.warmup_ns = 30'000;
+    return w;
+  }
   if (p.kind == SystemKind::kBaseErew) {
     w.warmup_ns = 3'000'000;
     w.measure_ns = 500'000;
@@ -61,15 +170,27 @@ inline RunWindows WindowsFor(const RackParams& p) {
   return w;
 }
 
-inline RackReport RunRack(const RackParams& p) {
+inline RackReport RunRack(const RackParams& p, SimTime measure_ns, SimTime warmup_ns,
+                          const char* label_detail = nullptr) {
   RackSimulation rack(p);
-  const RunWindows w = WindowsFor(p);
-  return rack.Run(w.measure_ns, w.warmup_ns);
+  if (Smoke()) {
+    const RunWindows w = WindowsFor(p);
+    measure_ns = w.measure_ns;
+    warmup_ns = w.warmup_ns;
+  }
+  const RackReport report = rack.Run(measure_ns, warmup_ns);
+  std::string label = LabelOf(p);
+  if (label_detail != nullptr) {
+    label += ' ';
+    label += label_detail;
+  }
+  RecordEntry(std::move(label), ReportFields(report));
+  return report;
 }
 
-inline RackReport RunRack(const RackParams& p, SimTime measure_ns, SimTime warmup_ns) {
-  RackSimulation rack(p);
-  return rack.Run(measure_ns, warmup_ns);
+inline RackReport RunRack(const RackParams& p, const char* label_detail = nullptr) {
+  const RunWindows w = WindowsFor(p);
+  return RunRack(p, w.measure_ns, w.warmup_ns, label_detail);
 }
 
 inline void PrintHeaderRule() {

@@ -9,17 +9,19 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/common/rng.h"
 #include "src/common/zipf.h"
 #include "src/store/partitioner.h"
 #include "src/workload/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cckvs::bench::Init(argc, argv);
   using namespace cckvs;
   constexpr int kServers = 128;
   constexpr std::uint64_t kKeys = 250'000'000;
   constexpr double kAlpha = 0.99;
-  constexpr int kSamples = 4'000'000;
+  const int kSamples = bench::Smoke() ? 200'000 : 4'000'000;
 
   WorkloadConfig wl;
   wl.keyspace = kKeys;
@@ -53,5 +55,9 @@ int main() {
   const double p1 = ZipfPmf(1, kKeys, kAlpha);
   const double predicted = (p1 + (1.0 - p1) / kServers) * kServers;
   std::printf("analytic prediction for hottest: %.2fx average\n", predicted);
+  bench::RecordEntry("fig01 load imbalance",
+                     {{"hottest_norm_load", normalized[0]},
+                      {"median_norm_load", normalized[kServers / 2]},
+                      {"predicted_hottest", predicted}});
   return 0;
 }

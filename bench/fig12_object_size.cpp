@@ -10,7 +10,8 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cckvs::bench::Init(argc, argv);
   using namespace cckvs;
   using namespace cckvs::bench;
 

@@ -11,7 +11,8 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cckvs::bench::Init(argc, argv);
   using namespace cckvs;
   using namespace cckvs::bench;
 
@@ -40,8 +41,9 @@ int main() {
       p.workload.write_ratio = cfg.write_ratio;
       p.coalescing = true;
       p.open_loop_mrps_per_node = load;
-      RackSimulation rack(p);
-      const RackReport r = rack.Run(250'000, 100'000);
+      char detail[32];
+      std::snprintf(detail, sizeof(detail), "load=%.0f/node", load);
+      const RackReport r = RunRack(p, 250'000, 100'000, detail);
       std::printf("%-14s %-12.0f %10.1f %10.1f %10.1f\n", cfg.name, load * 9,
                   r.avg_latency_us, r.p95_latency_us, r.p99_latency_us);
     }

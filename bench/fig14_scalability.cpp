@@ -11,7 +11,8 @@
 #include "bench/bench_util.h"
 #include "src/model/analytical.h"
 
-int main() {
+int main(int argc, char** argv) {
+  cckvs::bench::Init(argc, argv);
   using namespace cckvs;
   using namespace cckvs::bench;
 

@@ -40,7 +40,8 @@ double MeasuredBreakEven(cckvs::ConsistencyModel model, int nodes,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cckvs::bench::Init(argc, argv);
   using namespace cckvs;
   using namespace cckvs::bench;
 

@@ -50,7 +50,8 @@ ProbeResult Probe(bool through_switch, std::uint32_t wire_bytes, int packets) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cckvs::bench::Init(argc, argv);
   using namespace cckvs;
   using namespace cckvs::bench;
 

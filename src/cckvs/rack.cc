@@ -6,6 +6,7 @@
 #include <memory>
 #include <utility>
 
+#include "src/cckvs/report_util.h"
 #include "src/cckvs/rpc_messages.h"
 #include "src/common/check.h"
 #include "src/common/hash.h"
@@ -206,7 +207,7 @@ RackNode::RackNode(RackSimulation* rack, NodeId id)
       bcast_credits_(rack->params_.num_nodes, rack->params_.bcast_credits_per_peer),
       credit_batcher_(rack->params_.num_nodes, rack->params_.credit_update_batch),
       gen_(rack->params_.workload, /*writer_tag=*/id,
-           /*seed=*/Mix64(rack->params_.seed ^ (0x9e37u + id))),
+           /*seed=*/PerThreadSeed(rack->params_.seed, id)),
       rng_(Mix64(rack->params_.seed ^ (0xb0b0u + id))) {
   const RackParams& p = params();
 
@@ -1185,19 +1186,9 @@ RackReport RackSimulation::Run(SimTime measure_ns, SimTime warmup_ns, bool drain
     latency.Merge(nodes_[i]->latency());
   }
 
-  report.completed = totals.completed;
-  report.mrps = static_cast<double>(totals.completed) / duration_ns * 1e3;
-  report.hit_mrps = static_cast<double>(totals.hit_completed) / duration_ns * 1e3;
-  report.miss_mrps = static_cast<double>(totals.miss_completed) / duration_ns * 1e3;
-  report.hit_rate = totals.completed == 0
-                        ? 0.0
-                        : static_cast<double>(totals.hit_completed) /
-                              static_cast<double>(totals.completed);
-
-  report.avg_latency_us = latency.Mean() / 1e3;
-  report.p50_latency_us = static_cast<double>(latency.P50()) / 1e3;
-  report.p95_latency_us = static_cast<double>(latency.P95()) / 1e3;
-  report.p99_latency_us = static_cast<double>(latency.P99()) / 1e3;
+  FillThroughput(totals.completed, totals.hit_completed, totals.miss_completed,
+                 duration_ns, &report);
+  FillLatency(latency, &report);
 
   const double n = static_cast<double>(params_.num_nodes);
   double header_bytes = 0;

@@ -1,0 +1,59 @@
+#include "src/cckvs/report_util.h"
+
+#include "src/net/network.h"
+
+namespace cckvs {
+
+void FillThroughput(std::uint64_t completed, std::uint64_t hit_completed,
+                    std::uint64_t miss_completed, double duration_ns,
+                    RackReport* report) {
+  report->completed = completed;
+  if (duration_ns <= 0) {
+    return;
+  }
+  report->mrps = static_cast<double>(completed) / duration_ns * 1e3;
+  report->hit_mrps = static_cast<double>(hit_completed) / duration_ns * 1e3;
+  report->miss_mrps = static_cast<double>(miss_completed) / duration_ns * 1e3;
+  report->hit_rate = completed == 0 ? 0.0
+                                    : static_cast<double>(hit_completed) /
+                                          static_cast<double>(completed);
+}
+
+void FillLatency(const Histogram& latency, RackReport* report) {
+  report->avg_latency_us = latency.Mean() / 1e3;
+  report->p50_latency_us = static_cast<double>(latency.P50()) / 1e3;
+  report->p95_latency_us = static_cast<double>(latency.P95()) / 1e3;
+  report->p99_latency_us = static_cast<double>(latency.P99()) / 1e3;
+}
+
+std::vector<std::pair<std::string, double>> ReportFields(const RackReport& r) {
+  std::vector<std::pair<std::string, double>> f;
+  f.emplace_back("duration_s", r.duration_s);
+  f.emplace_back("completed", static_cast<double>(r.completed));
+  f.emplace_back("mrps", r.mrps);
+  f.emplace_back("hit_rate", r.hit_rate);
+  f.emplace_back("hit_mrps", r.hit_mrps);
+  f.emplace_back("miss_mrps", r.miss_mrps);
+  f.emplace_back("avg_latency_us", r.avg_latency_us);
+  f.emplace_back("p50_latency_us", r.p50_latency_us);
+  f.emplace_back("p95_latency_us", r.p95_latency_us);
+  f.emplace_back("p99_latency_us", r.p99_latency_us);
+  f.emplace_back("tx_gbps_per_node", r.tx_gbps_per_node);
+  f.emplace_back("header_gbps_per_node", r.header_gbps_per_node);
+  f.emplace_back("payload_gbps_per_node", r.payload_gbps_per_node);
+  for (int c = 0; c < static_cast<int>(TrafficClass::kNumClasses); ++c) {
+    f.emplace_back(std::string("gbps_") + ToString(static_cast<TrafficClass>(c)),
+                   r.class_gbps[c]);
+  }
+  f.emplace_back("worker_utilization", r.worker_utilization);
+  f.emplace_back("kvs_utilization", r.kvs_utilization);
+  f.emplace_back("updates_sent", static_cast<double>(r.updates_sent));
+  f.emplace_back("invalidations_sent", static_cast<double>(r.invalidations_sent));
+  f.emplace_back("acks_sent", static_cast<double>(r.acks_sent));
+  f.emplace_back("credit_updates_sent", static_cast<double>(r.credit_updates_sent));
+  f.emplace_back("epochs", static_cast<double>(r.epochs));
+  f.emplace_back("hot_set_churn", static_cast<double>(r.hot_set_churn));
+  return f;
+}
+
+}  // namespace cckvs

@@ -1,0 +1,36 @@
+// Shared RackReport plumbing.
+//
+// The simulated rack (cckvs/rack.cc) and the live rack (runtime/live_rack.cc)
+// produce the same report shape from the same raw ingredients — completed-op
+// counts over a duration and a nanosecond latency histogram.  These helpers
+// keep the two paths numerically identical, and provide the flat field view
+// the bench binaries serialize into their JSON artifacts.
+
+#ifndef CCKVS_CCKVS_REPORT_UTIL_H_
+#define CCKVS_CCKVS_REPORT_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/cckvs/params.h"
+#include "src/common/histogram.h"
+
+namespace cckvs {
+
+// Fills completed / mrps / hit_mrps / miss_mrps / hit_rate.  `duration_ns`
+// is simulated time for the simulator, wall time for the live rack.
+void FillThroughput(std::uint64_t completed, std::uint64_t hit_completed,
+                    std::uint64_t miss_completed, double duration_ns,
+                    RackReport* report);
+
+// Fills the avg/p50/p95/p99 latency fields from a nanosecond histogram.
+void FillLatency(const Histogram& latency, RackReport* report);
+
+// Flat name -> value view of every numeric report field (JSON export).
+std::vector<std::pair<std::string, double>> ReportFields(const RackReport& report);
+
+}  // namespace cckvs
+
+#endif  // CCKVS_CCKVS_REPORT_UTIL_H_

@@ -34,7 +34,9 @@ class Histogram {
  private:
   static constexpr int kSubBucketBits = 6;  // 64 sub-buckets per power of two
   static constexpr int kSubBuckets = 1 << kSubBucketBits;
-  static constexpr int kBucketCount = (64 - kSubBucketBits) * kSubBuckets;
+  // Shifts run 0..63-kSubBucketBits inclusive, so BucketIndex can reach
+  // (64 - kSubBucketBits + 1) * kSubBuckets - 1 for values near 2^64.
+  static constexpr int kBucketCount = (64 - kSubBucketBits + 1) * kSubBuckets;
 
   static int BucketIndex(std::uint64_t value);
   static std::uint64_t BucketUpperBound(int index);

@@ -1,0 +1,106 @@
+// Bounded MPSC channel: the live runtime's stand-in for a UD queue pair.
+//
+// Many producer threads (peer nodes posting protocol messages) feed one
+// consumer (the owning node's thread), which drains in batches — the live
+// analogue of sweeping a completion queue.  The bound plays the role of the
+// posted-receive depth in src/rdma/verbs.cc: the credit scheme in
+// runtime/transport.h is sized so that a channel never fills, and Push()
+// blocking on a full channel is only the correctness backstop (counted in
+// full_waits(), which a healthy run keeps at zero).
+//
+// FIFO: the queue is globally ordered, so per-producer order is preserved —
+// the property the Lin protocol needs between an invalidation and its update.
+
+#ifndef CCKVS_RUNTIME_CHANNEL_H_
+#define CCKVS_RUNTIME_CHANNEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace cckvs {
+
+template <typename T>
+class MpscChannel {
+ public:
+  explicit MpscChannel(std::size_t capacity) : capacity_(capacity) {
+    CCKVS_CHECK_GE(capacity, std::size_t{1});
+  }
+  MpscChannel(const MpscChannel&) = delete;
+  MpscChannel& operator=(const MpscChannel&) = delete;
+
+  // Enqueues one item; blocks while the channel is full (backstop only — see
+  // the header comment).
+  void Push(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (items_.size() >= capacity_) {
+        full_waits_.fetch_add(1, std::memory_order_relaxed);
+        not_full_.wait(lock, [this] { return items_.size() < capacity_; });
+      }
+      items_.push_back(std::move(item));
+      pushes_.fetch_add(1, std::memory_order_relaxed);
+    }
+    not_empty_.notify_one();
+  }
+
+  // Moves up to `max` items into *out (appended).  Non-blocking; returns the
+  // number moved.  Single consumer only.
+  std::size_t TryDrain(std::vector<T>* out, std::size_t max) {
+    std::unique_lock<std::mutex> lock(mu_);
+    return DrainLocked(out, max);
+  }
+
+  // Waits up to `timeout` for at least one item, then drains like TryDrain.
+  std::size_t WaitDrain(std::vector<T>* out, std::size_t max,
+                        std::chrono::microseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, timeout, [this] { return !items_.empty(); });
+    return DrainLocked(out, max);
+  }
+
+  std::size_t size() const {
+    std::unique_lock<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t pushes() const { return pushes_.load(std::memory_order_relaxed); }
+  std::uint64_t full_waits() const {
+    return full_waits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t DrainLocked(std::vector<T>* out, std::size_t max) {
+    std::size_t moved = 0;
+    const bool was_full = items_.size() >= capacity_;
+    while (!items_.empty() && moved < max) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++moved;
+    }
+    if (was_full && moved > 0) {
+      not_full_.notify_all();  // several producers may be parked
+    }
+    return moved;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::atomic<std::uint64_t> pushes_{0};
+  std::atomic<std::uint64_t> full_waits_{0};
+};
+
+}  // namespace cckvs
+
+#endif  // CCKVS_RUNTIME_CHANNEL_H_

@@ -1,0 +1,236 @@
+#include "src/runtime/live_node.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/runtime/live_rack.h"
+
+namespace cckvs {
+namespace {
+
+// Messages processed per pump before giving client ops a turn; keeps one
+// flooded channel from starving the node's own sessions.
+constexpr std::size_t kPollBatch = 256;
+
+}  // namespace
+
+LiveNode::LiveNode(LiveRack* rack, NodeId id, WorkloadGenerator gen)
+    : rack_(rack),
+      id_(id),
+      ep_(&rack->transport().endpoint(id)),
+      gen_(std::move(gen)) {
+  const LiveRackParams& p = rack->params();
+  quota_ = p.ops_per_node;
+
+  PartitionConfig pc;
+  pc.buckets = p.partition_buckets;
+  pc.node_id = id;
+  const std::uint32_t value_bytes = p.workload.value_bytes;
+  pc.synthesize = [value_bytes](Key key) { return SynthesizeValue(key, value_bytes); };
+  partition_ = std::make_unique<Partition>(pc);
+
+  cache_ = std::make_unique<SymmetricCache>(p.cache_capacity);
+  if (p.consistency == ConsistencyModel::kLin) {
+    engine_ = std::make_unique<LinEngine>(id, p.num_nodes, cache_.get(), ep_);
+  } else {
+    CCKVS_CHECK(p.consistency == ConsistencyModel::kSc);
+    engine_ = std::make_unique<ScEngine>(id, p.num_nodes, cache_.get(), ep_);
+  }
+
+  sessions_.resize(static_cast<std::size_t>(p.window_per_node));
+  for (std::size_t s = 0; s < sessions_.size(); ++s) {
+    // Sessions are pinned to their node, as in the simulator.
+    sessions_[s].id = static_cast<SessionId>(id) * 100000u + static_cast<SessionId>(s);
+  }
+  idle_sessions_ = sessions_.size();
+}
+
+void LiveNode::PrefillHotSet(const std::vector<Key>& hot_keys) {
+  cache_->InstallHotSet(hot_keys);
+  for (const Key key : hot_keys) {
+    cache_->Fill(key, SynthesizeValue(key, rack_->params().workload.value_bytes),
+                 Timestamp{0, 0});
+  }
+}
+
+SimTime LiveNode::NowTs() {
+  SimTime t = rack_->clock_ns();
+  if (t <= last_ts_) {
+    t = last_ts_ + 1;
+  }
+  last_ts_ = t;
+  return t;
+}
+
+void LiveNode::Run(StopToken stop) {
+  while (true) {
+    const std::size_t processed = PollInbound(kPollBatch);
+    ep_->FlushPending();       // credits may have come back
+    RetryParkedScWrites();
+
+    bool issued = false;
+    if (!halted_) {
+      if (stop.StopRequested() || counters_.completed >= quota_) {
+        halted_ = true;
+      } else {
+        issued = FillIdleSessions();
+      }
+    }
+
+    if (!done_ && halted_ && AllSessionsIdle() && parked_sc_writes_.empty() &&
+        ep_->NothingPending() && engine_->Quiescent()) {
+      // Locally quiescent: no client work, no parked protocol work.  This is
+      // monotonic — with no local ops, incoming messages can only be updates
+      // (no sends) or invalidations (ack rides implicit credits).
+      done_ = true;
+      rack_->OnNodeDone();
+    }
+    if (done_ && rack_->AllNodesDone() && rack_->transport().inflight() == 0) {
+      // No node can create new messages and none are in flight: the rack is
+      // globally quiescent, histories are sealed.
+      return;
+    }
+
+    if (processed == 0 && !issued) {
+      // Nothing to do right now.  Credit returns are silent (atomic adds), so
+      // bound the sleep rather than waiting for a message that may not come.
+      ep_->WaitForTraffic(std::chrono::microseconds(done_ ? 50 : 200));
+    }
+  }
+}
+
+std::size_t LiveNode::PollInbound(std::size_t max) {
+  return ep_->Poll(max, [this](const WireMsg& msg) {
+    if (const auto* upd = std::get_if<UpdateMsg>(&msg.body)) {
+      if (cache_->Find(upd->key) != nullptr) {
+        engine_->OnUpdate(msg.src, *upd);
+      } else if (rack_->HomeOf(upd->key) == id_) {
+        // Key not cached here (possible once hot sets churn): complete the
+        // write-back directly into the home shard, as the simulator does.
+        partition_->Apply(upd->key, upd->value, upd->ts);
+      }
+    } else if (const auto* inv = std::get_if<InvalidateMsg>(&msg.body)) {
+      engine_->OnInvalidate(msg.src, *inv);  // acks unconditionally
+    } else {
+      engine_->OnAck(msg.src, std::get<AckMsg>(msg.body));
+    }
+  });
+}
+
+bool LiveNode::FillIdleSessions() {
+  if (idle_sessions_ == 0) {
+    return false;
+  }
+  bool issued = false;
+  for (std::uint32_t s = 0; s < sessions_.size(); ++s) {
+    if (sessions_[s].idle) {
+      IssueOp(s);
+      issued = true;
+    }
+  }
+  return issued;
+}
+
+void LiveNode::IssueOp(std::uint32_t slot) {
+  Session& sess = sessions_[slot];
+  CCKVS_DCHECK(sess.idle);
+  sess.op = gen_.Next();
+  sess.invoke = NowTs();
+  sess.idle = false;
+  --idle_sessions_;
+
+  const Key key = sess.op.key;
+  if (cache_->Probe(key)) {
+    if (sess.op.type == OpType::kGet) {
+      Value value;
+      Timestamp ts;
+      const auto result = engine_->Read(
+          key, &value, &ts,
+          [this, slot](const Value& v, Timestamp t) { CompleteOp(slot, v, t, true); });
+      if (result == CoherenceEngine::ReadResult::kHit) {
+        CompleteOp(slot, value, ts, true);
+      }
+      // kBlocked: the parked-reader callback completes the op.
+      return;
+    }
+    if (engine_->model() == ConsistencyModel::kSc && !ep_->AllPeersHaveCredit()) {
+      // SC writes complete as soon as the update broadcast is posted, so
+      // posting is the throttle point (§6.3): no credits, the op waits.
+      ++counters_.sc_credit_stalls;
+      parked_sc_writes_.push_back(slot);
+      return;
+    }
+    StartCacheWrite(slot);
+    return;
+  }
+
+  // Miss: the scale-out-ccNUMA data plane.  Access the home shard directly
+  // through the CRCW seqlock path — a remote read is a lock-free copy-out, a
+  // remote write takes only the bucket's writer lock.
+  Partition& home = rack_->PartitionOf(key);
+  if (sess.op.type == OpType::kGet) {
+    Value value;
+    Timestamp ts;
+    const bool ok = home.Get(key, &value, &ts);
+    CCKVS_CHECK(ok);  // the synthesizer guarantees every GET succeeds
+    CompleteOp(slot, value, ts, false);
+  } else {
+    const Timestamp ts = home.Put(key, sess.op.value);
+    CompleteOp(slot, sess.op.value, ts, false);
+  }
+}
+
+void LiveNode::StartCacheWrite(std::uint32_t slot) {
+  const Key key = sessions_[slot].op.key;
+  engine_->Write(key, sessions_[slot].op.value, [this, slot, key] {
+    // For Lin, pending_ts still holds the completed write's timestamp; for SC
+    // the entry timestamp is the write's own (done fires synchronously).
+    CacheEntry* e = cache_->Find(key);
+    const Timestamp ts =
+        (engine_->model() == ConsistencyModel::kLin && e != nullptr) ? e->pending_ts
+        : e != nullptr                                               ? e->ts()
+                                                                     : Timestamp{};
+    CompleteOp(slot, sessions_[slot].op.value, ts, true);
+  });
+}
+
+void LiveNode::RetryParkedScWrites() {
+  while (!parked_sc_writes_.empty() && ep_->AllPeersHaveCredit()) {
+    const std::uint32_t slot = parked_sc_writes_.front();
+    parked_sc_writes_.pop_front();
+    StartCacheWrite(slot);
+  }
+}
+
+void LiveNode::CompleteOp(std::uint32_t slot, const Value& read_value, Timestamp ts,
+                          bool via_cache) {
+  Session& sess = sessions_[slot];
+  CCKVS_CHECK(!sess.idle);
+  ++counters_.completed;
+  if (via_cache) {
+    ++counters_.hit_completed;
+  } else {
+    ++counters_.miss_completed;
+  }
+  const SimTime now = NowTs();
+  latency_.Record(now - sess.invoke);
+
+  if (rack_->params().record_history) {
+    HistoryOp h;
+    h.session = sess.id;
+    h.type = sess.op.type;
+    h.key = sess.op.key;
+    h.value = sess.op.type == OpType::kPut ? sess.op.value : read_value;
+    h.ts = ts;
+    h.invoke = sess.invoke;
+    h.complete = now;
+    history_.push_back(std::move(h));
+  }
+
+  sess.idle = true;
+  ++idle_sessions_;
+  // Closed loop: the next op is issued by the run loop's FillIdleSessions(),
+  // never from inside a completion callback (no recursion through the engine).
+}
+
+}  // namespace cckvs

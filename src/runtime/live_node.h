@@ -1,0 +1,114 @@
+// One live rack node: a real thread owning its shard, cache and engine.
+//
+// The node thread is the engine's single-threaded host (the contract in
+// src/protocol/engine.h): every engine call — client ops and message
+// deliveries — happens on this thread, interleaved by the run loop.  Other
+// threads interact with the node in exactly two ways:
+//
+//   * posting protocol messages into its transport endpoint's channel, and
+//   * reading/writing its store::Partition shard directly through the CRCW
+//     seqlock path — the scale-out-ccNUMA data plane: a cache miss is served
+//     by a plain load/store against the home shard, not an RPC.
+//
+// Client load is closed-loop: `window` sessions per node, each issuing its
+// next operation as soon as the previous completes, from a per-thread
+// WorkloadGenerator.  Completions are engine callbacks, so a Lin write or a
+// blocked read simply leaves its session non-idle until the protocol fires.
+
+#ifndef CCKVS_RUNTIME_LIVE_NODE_H_
+#define CCKVS_RUNTIME_LIVE_NODE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/cache/symmetric_cache.h"
+#include "src/common/histogram.h"
+#include "src/protocol/engine.h"
+#include "src/runtime/stop.h"
+#include "src/runtime/transport.h"
+#include "src/store/partition.h"
+#include "src/verify/history.h"
+#include "src/workload/workload.h"
+
+namespace cckvs {
+
+class LiveRack;
+
+class LiveNode {
+ public:
+  LiveNode(LiveRack* rack, NodeId id, WorkloadGenerator gen);
+  LiveNode(const LiveNode&) = delete;
+  LiveNode& operator=(const LiveNode&) = delete;
+
+  // Installs + fills the symmetric hot set (before threads start).
+  void PrefillHotSet(const std::vector<Key>& hot_keys);
+
+  // Thread body.  Issues ops until the quota (or a stop request), then drains:
+  // keeps pumping messages until every node is quiescent and the fabric is
+  // empty, so all histories seal.
+  void Run(StopToken stop);
+
+  // Shard access; the CRCW seqlock path makes this safe from any thread.
+  Partition& partition() { return *partition_; }
+  const Partition& partition() const { return *partition_; }
+
+  // --- post-join introspection (owning thread has exited) ---
+  struct Counters {
+    std::uint64_t completed = 0;
+    std::uint64_t hit_completed = 0;
+    std::uint64_t miss_completed = 0;
+    std::uint64_t sc_credit_stalls = 0;
+  };
+  const Counters& counters() const { return counters_; }
+  const Histogram& latency() const { return latency_; }
+  const std::vector<HistoryOp>& history_ops() const { return history_; }
+  const SymmetricCache& cache() const { return *cache_; }
+  const CoherenceEngine& engine() const { return *engine_; }
+
+ private:
+  struct Session {
+    Op op;
+    SimTime invoke = 0;
+    SessionId id = 0;
+    bool idle = true;
+  };
+
+  std::size_t PollInbound(std::size_t max);
+  bool FillIdleSessions();
+  void IssueOp(std::uint32_t slot);
+  void StartCacheWrite(std::uint32_t slot);
+  void RetryParkedScWrites();
+  void CompleteOp(std::uint32_t slot, const Value& read_value, Timestamp ts,
+                  bool via_cache);
+  bool AllSessionsIdle() const { return idle_sessions_ == sessions_.size(); }
+  // Strictly increasing per-thread history clock (ties would make the
+  // checkers' per-session invoke sort ambiguous).
+  SimTime NowTs();
+
+  LiveRack* rack_;
+  NodeId id_;
+  LiveTransport::Endpoint* ep_;
+
+  std::unique_ptr<Partition> partition_;
+  std::unique_ptr<SymmetricCache> cache_;
+  std::unique_ptr<CoherenceEngine> engine_;
+  WorkloadGenerator gen_;
+
+  std::vector<Session> sessions_;
+  std::size_t idle_sessions_ = 0;
+  std::deque<std::uint32_t> parked_sc_writes_;
+  std::uint64_t quota_ = 0;
+  bool halted_ = false;  // stopped issuing new ops
+  bool done_ = false;    // locally quiescent, reported to the rack
+
+  Counters counters_;
+  Histogram latency_;
+  std::vector<HistoryOp> history_;
+  SimTime last_ts_ = 0;
+};
+
+}  // namespace cckvs
+
+#endif  // CCKVS_RUNTIME_LIVE_NODE_H_

@@ -1,0 +1,135 @@
+#include "src/runtime/live_rack.h"
+
+#include <thread>
+#include <utility>
+
+#include "src/cckvs/report_util.h"
+#include "src/common/check.h"
+
+namespace cckvs {
+namespace {
+
+LiveTransport::Config TransportConfig(const LiveRackParams& p) {
+  LiveTransport::Config c;
+  c.num_nodes = p.num_nodes;
+  c.bcast_credits_per_peer = p.bcast_credits_per_peer;
+  c.credit_update_batch = p.credit_update_batch;
+  // A node's inbound channel holds at most (n-1)*credits credited broadcasts
+  // plus (n-1)*window implicit-credit acks (one per outstanding invalidation
+  // of at most `window` in-flight local writes).  Size to that bound so Push
+  // never blocks; the slack absorbs nothing in theory, everything in practice.
+  c.channel_capacity =
+      static_cast<std::size_t>(p.num_nodes - 1) *
+          static_cast<std::size_t>(p.bcast_credits_per_peer + p.window_per_node) +
+      64;
+  return c;
+}
+
+void AddEngineStats(const EngineStats& from, EngineStats* to) {
+  to->writes += from.writes;
+  to->writes_completed += from.writes_completed;
+  to->reads_hit += from.reads_hit;
+  to->reads_blocked += from.reads_blocked;
+  to->updates_applied += from.updates_applied;
+  to->updates_discarded += from.updates_discarded;
+  to->invalidations_applied += from.invalidations_applied;
+  to->invalidations_stale += from.invalidations_stale;
+  to->acks_received += from.acks_received;
+  to->writes_superseded += from.writes_superseded;
+  to->local_writes_queued += from.local_writes_queued;
+}
+
+}  // namespace
+
+LiveRack::LiveRack(const LiveRackParams& params)
+    : params_(params),
+      transport_(TransportConfig(params)),
+      partitioner_(params.num_nodes),
+      epoch_(std::chrono::steady_clock::now()) {
+  CCKVS_CHECK_GE(params_.num_nodes, 2);
+  CCKVS_CHECK_GE(params_.window_per_node, 1);
+  CCKVS_CHECK_GE(params_.workload.value_bytes, 13u);  // MakeWriteValue floor
+
+  std::vector<WorkloadGenerator> gens =
+      MakePerThreadGenerators(params_.workload, params_.num_nodes, params_.seed);
+  for (int i = 0; i < params_.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<LiveNode>(this, static_cast<NodeId>(i),
+                                                std::move(gens[static_cast<std::size_t>(i)])));
+  }
+
+  // Symmetric prefill: every node caches the ground-truth hot set, so runs
+  // start in the steady state the paper measures.
+  WorkloadGenerator probe(params_.workload, /*writer_tag=*/0, /*seed=*/0);
+  const std::vector<Key> hot = probe.HottestKeys(params_.cache_capacity);
+  for (auto& node : nodes_) {
+    node->PrefillHotSet(hot);
+  }
+}
+
+LiveRack::~LiveRack() = default;
+
+LiveReport LiveRack::Run() {
+  CCKVS_CHECK(!ran_ && "LiveRack::Run is single-shot");
+  ran_ = true;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(nodes_.size());
+  for (auto& node : nodes_) {
+    threads.emplace_back([&node, token = stop_.token()] { node->Run(token); });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  // All node threads have exited: aggregation below reads their state without
+  // synchronization concerns.
+  LiveReport report;
+  report.wall_seconds = wall_seconds;
+
+  std::uint64_t hit = 0;
+  std::uint64_t miss = 0;
+  Histogram latency;
+  for (int i = 0; i < params_.num_nodes; ++i) {
+    const LiveNode& node = *nodes_[static_cast<std::size_t>(i)];
+    const LiveNode::Counters& c = node.counters();
+    report.completed += c.completed;
+    hit += c.hit_completed;
+    miss += c.miss_completed;
+    report.sc_credit_stalls += c.sc_credit_stalls;
+    latency.Merge(node.latency());
+    AddEngineStats(node.engine().stats(), &report.engine_totals);
+
+    const LiveTransport::Endpoint& ep = transport_.endpoint(static_cast<NodeId>(i));
+    report.channel_messages += ep.messages_received();
+    report.channel_full_waits += ep.full_waits();
+    report.credit_parks += ep.credit_parks();
+    report.rack.updates_sent += ep.updates_sent();
+    report.rack.invalidations_sent += ep.invalidations_sent();
+    report.rack.acks_sent += ep.acks_sent();
+    report.rack.credit_updates_sent += ep.credit_returns();
+
+    const PartitionStats ps = node.partition().stats();
+    report.store_read_retries += ps.read_retries;
+    const SlabAllocator::Stats ss = node.partition().slab_stats();
+    report.slab_live_slots += ss.live_slots;
+    report.slab_arena_bytes += ss.arena_bytes;
+  }
+
+  report.rack.duration_s = wall_seconds;
+  FillThroughput(report.completed, hit, miss, wall_seconds * 1e9, &report.rack);
+  FillLatency(latency, &report.rack);
+
+  if (params_.record_history) {
+    for (auto& node : nodes_) {
+      for (const HistoryOp& op : node->history_ops()) {
+        history_.Record(op);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace cckvs

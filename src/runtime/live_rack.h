@@ -1,0 +1,122 @@
+// The live rack: N nodes as real std::threads on an in-process fabric.
+//
+// Where RackSimulation *models* a 9-node rack on a discrete-event clock,
+// LiveRack *executes* the same store/cache/protocol code on real hardware
+// threads: per-node store::Partition shards reached cross-thread through the
+// CRCW seqlock path, per-node SymmetricCache + Sc/LinEngine driven only by
+// the owning thread, and protocol traffic over bounded MPSC channels with
+// credit-based backpressure (runtime/transport.h).  This is the "fast as the
+// hardware allows" axis the simulator cannot measure — and the concurrency
+// stress the TSan CI job exists for.
+//
+// A run is quota-driven: every node issues closed-loop ops until it has
+// completed ops_per_node, then the rack drains to global quiescence (all
+// sessions idle, all engines quiescent, fabric empty) so recorded histories
+// are complete — ready for the verify/ per-key SC/Lin checkers.
+//
+// Quickstart:
+//
+//   LiveRackParams p;
+//   p.consistency = ConsistencyModel::kLin;
+//   p.record_history = true;
+//   LiveRack rack(p);
+//   LiveReport r = rack.Run();   // blocks; spawns and joins p.num_nodes threads
+//   // r.rack.mrps (live Mops/s), r.rack.hit_rate, r.rack.p99_latency_us, ...
+//   // rack.history().CheckPerKeyLinearizability() == ""
+
+#ifndef CCKVS_RUNTIME_LIVE_RACK_H_
+#define CCKVS_RUNTIME_LIVE_RACK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/protocol/engine.h"
+#include "src/runtime/live_node.h"
+#include "src/runtime/report.h"
+#include "src/runtime/stop.h"
+#include "src/runtime/transport.h"
+#include "src/store/partitioner.h"
+#include "src/verify/history.h"
+#include "src/workload/workload.h"
+
+namespace cckvs {
+
+struct LiveRackParams {
+  int num_nodes = 4;
+  ConsistencyModel consistency = ConsistencyModel::kSc;
+
+  // Small keyspaces + small caches maximise hot-key contention, which is what
+  // a live stress run is for; scale up for throughput measurements.
+  WorkloadConfig workload{.keyspace = 65'536,
+                          .zipf_alpha = 0.99,
+                          .write_ratio = 0.05,
+                          .value_bytes = 16};
+  std::size_t cache_capacity = 1024;
+  std::size_t partition_buckets = 1 << 12;
+
+  int window_per_node = 8;              // concurrent closed-loop sessions
+  std::uint64_t ops_per_node = 250'000; // issue quota per node
+
+  // Flow control (§6.3/§6.4); credits must exceed the batch or stranded
+  // partial batches could park a sender forever.
+  int bcast_credits_per_peer = 64;
+  int credit_update_batch = 8;
+
+  bool record_history = false;  // sealed per-key history for the checkers
+  std::uint64_t seed = 1;
+};
+
+class LiveRack {
+ public:
+  explicit LiveRack(const LiveRackParams& params);
+  ~LiveRack();
+  LiveRack(const LiveRack&) = delete;
+  LiveRack& operator=(const LiveRack&) = delete;
+
+  // Spawns one thread per node, runs quotas + drain, joins, and reports.
+  // Call once.
+  LiveReport Run();
+
+  // Cooperative early stop (safe from any thread, e.g. a watchdog).
+  void RequestStop() { stop_.RequestStop(); }
+
+  const LiveRackParams& params() const { return params_; }
+  History& history() { return history_; }  // sealed after Run()
+  LiveTransport& transport() { return transport_; }
+  const LiveNode& node(NodeId id) const { return *nodes_[id]; }
+
+  NodeId HomeOf(Key key) const { return partitioner_.HomeOf(key); }
+  Partition& PartitionOf(Key key) { return nodes_[HomeOf(key)]->partition(); }
+
+  // Monotonic nanoseconds since construction; the live history clock.
+  SimTime clock_ns() const {
+    return static_cast<SimTime>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  // --- node-thread coordination ---
+  void OnNodeDone() { nodes_done_.fetch_add(1, std::memory_order_acq_rel); }
+  bool AllNodesDone() const {
+    return nodes_done_.load(std::memory_order_acquire) == params_.num_nodes;
+  }
+
+ private:
+  LiveRackParams params_;
+  LiveTransport transport_;
+  ModuloPartitioner partitioner_;
+  std::vector<std::unique_ptr<LiveNode>> nodes_;
+  StopSource stop_;
+  std::atomic<int> nodes_done_{0};
+  std::chrono::steady_clock::time_point epoch_;
+  History history_;
+  bool ran_ = false;
+};
+
+}  // namespace cckvs
+
+#endif  // CCKVS_RUNTIME_LIVE_RACK_H_

@@ -1,0 +1,42 @@
+// Result of a LiveRack run.
+//
+// The shared report shape (throughput, hit rate, latency percentiles,
+// consistency-message counts) lives in the embedded RackReport so live runs
+// and simulator runs are directly comparable — bench/live_throughput.cpp
+// prints them side by side.  Live-only observables (wall-clock time, channel
+// and credit behaviour, store/slab counters) ride alongside.
+
+#ifndef CCKVS_RUNTIME_REPORT_H_
+#define CCKVS_RUNTIME_REPORT_H_
+
+#include <cstdint>
+
+#include "src/cckvs/params.h"
+#include "src/protocol/engine.h"
+
+namespace cckvs {
+
+struct LiveReport {
+  RackReport rack;  // mrps here means measured live Mops/s
+
+  double wall_seconds = 0;
+  std::uint64_t completed = 0;
+
+  // Aggregated over all node engines.
+  EngineStats engine_totals;
+
+  // Transport behaviour.
+  std::uint64_t channel_messages = 0;
+  std::uint64_t channel_full_waits = 0;  // nonzero = credit sizing was violated
+  std::uint64_t credit_parks = 0;        // broadcasts parked waiting for credits
+  std::uint64_t sc_credit_stalls = 0;    // SC write-hits parked at the throttle
+
+  // Store behaviour across all shards (CRCW seqlock path).
+  std::uint64_t store_read_retries = 0;
+  std::uint64_t slab_live_slots = 0;
+  std::uint64_t slab_arena_bytes = 0;
+};
+
+}  // namespace cckvs
+
+#endif  // CCKVS_RUNTIME_REPORT_H_

@@ -1,0 +1,51 @@
+// Cooperative stop signalling for live-runtime node threads.
+//
+// A deliberately tiny std::stop_token-alike (no callbacks, no jthread
+// coupling): the rack owns a StopSource; each node thread polls a StopToken
+// view of it between batches.  Stopping is always cooperative — a node that
+// sees the flag finishes its in-flight operations and participates in the
+// rack-wide drain before exiting, so histories are sealed, never truncated.
+
+#ifndef CCKVS_RUNTIME_STOP_H_
+#define CCKVS_RUNTIME_STOP_H_
+
+#include <atomic>
+
+namespace cckvs {
+
+class StopToken;
+
+class StopSource {
+ public:
+  StopSource() = default;
+  StopSource(const StopSource&) = delete;
+  StopSource& operator=(const StopSource&) = delete;
+
+  void RequestStop() { stop_.store(true, std::memory_order_release); }
+  bool StopRequested() const { return stop_.load(std::memory_order_acquire); }
+  StopToken token() const;
+
+ private:
+  std::atomic<bool> stop_{false};
+};
+
+class StopToken {
+ public:
+  StopToken() = default;
+
+  bool StopRequested() const {
+    return stop_ != nullptr && stop_->load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class StopSource;
+  explicit StopToken(const std::atomic<bool>* stop) : stop_(stop) {}
+
+  const std::atomic<bool>* stop_ = nullptr;
+};
+
+inline StopToken StopSource::token() const { return StopToken(&stop_); }
+
+}  // namespace cckvs
+
+#endif  // CCKVS_RUNTIME_STOP_H_

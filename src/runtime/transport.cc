@@ -1,0 +1,120 @@
+#include "src/runtime/transport.h"
+
+#include "src/common/check.h"
+
+namespace cckvs {
+
+LiveTransport::LiveTransport(const Config& config) : config_(config) {
+  CCKVS_CHECK_GE(config.num_nodes, 2);
+  // Stranded-credit bound: a receiver holds back at most batch-1 credits per
+  // peer, so the pool must be strictly larger or senders can park forever.
+  CCKVS_CHECK_GT(config.bcast_credits_per_peer, config.credit_update_batch);
+  for (int i = 0; i < config.num_nodes; ++i) {
+    endpoints_.push_back(std::make_unique<Endpoint>(this, static_cast<NodeId>(i)));
+  }
+}
+
+LiveTransport::Endpoint::Endpoint(LiveTransport* transport, NodeId self)
+    : transport_(transport),
+      self_(self),
+      inbox_(transport->config_.channel_capacity),
+      bcast_credits_(transport->config_.num_nodes,
+                     transport->config_.bcast_credits_per_peer),
+      batcher_(transport->config_.num_nodes, transport->config_.credit_update_batch),
+      returned_(static_cast<std::size_t>(transport->config_.num_nodes)),
+      pending_(static_cast<std::size_t>(transport->config_.num_nodes)) {}
+
+void LiveTransport::Endpoint::Deliver(NodeId to, WireMsg msg) {
+  // Count before the push so inflight() never under-reports a consumable
+  // message; the receiver decrements after its handler finishes.
+  transport_->inflight_.fetch_add(1, std::memory_order_acq_rel);
+  transport_->endpoints_[to]->inbox_.Push(std::move(msg));
+}
+
+void LiveTransport::Endpoint::HarvestCredits(NodeId peer) {
+  const int n = returned_[peer].exchange(0, std::memory_order_acquire);
+  if (n > 0) {
+    bcast_credits_.Release(peer, n);
+  }
+}
+
+void LiveTransport::Endpoint::SendCredited(NodeId to, WireMsg msg) {
+  HarvestCredits(to);
+  // A non-empty pending queue means this peer's credits ran dry earlier;
+  // jumping the queue would reorder invalidation vs. update, so append.
+  if (!pending_[to].empty() || !bcast_credits_.TryAcquire(to)) {
+    ++credit_parks_;
+    pending_[to].push_back(std::move(msg));
+    return;
+  }
+  Deliver(to, std::move(msg));
+}
+
+void LiveTransport::Endpoint::BroadcastUpdate(const UpdateMsg& msg) {
+  for (int j = 0; j < transport_->config_.num_nodes; ++j) {
+    if (j != self_) {
+      SendCredited(static_cast<NodeId>(j), WireMsg{self_, msg});
+      ++updates_sent_;
+    }
+  }
+}
+
+void LiveTransport::Endpoint::BroadcastInvalidate(const InvalidateMsg& msg) {
+  for (int j = 0; j < transport_->config_.num_nodes; ++j) {
+    if (j != self_) {
+      SendCredited(static_cast<NodeId>(j), WireMsg{self_, msg});
+      ++invalidations_sent_;
+    }
+  }
+}
+
+void LiveTransport::Endpoint::SendAck(NodeId to, const AckMsg& msg) {
+  // Implicit credits: acks answer invalidations one-for-one, so the writer's
+  // outstanding invalidations bound them (§6.3) — no pool, no parking.
+  Deliver(to, WireMsg{self_, msg});
+  ++acks_sent_;
+}
+
+void LiveTransport::Endpoint::FlushPending() {
+  for (int j = 0; j < transport_->config_.num_nodes; ++j) {
+    if (j == self_ || pending_[j].empty()) {
+      continue;
+    }
+    HarvestCredits(static_cast<NodeId>(j));
+    while (!pending_[j].empty() &&
+           bcast_credits_.TryAcquire(static_cast<NodeId>(j))) {
+      WireMsg msg = std::move(pending_[j].front());
+      pending_[j].pop_front();
+      Deliver(static_cast<NodeId>(j), std::move(msg));
+    }
+  }
+}
+
+bool LiveTransport::Endpoint::AllPeersHaveCredit() {
+  for (int j = 0; j < transport_->config_.num_nodes; ++j) {
+    if (j == self_) {
+      continue;
+    }
+    HarvestCredits(static_cast<NodeId>(j));
+    if (bcast_credits_.available(static_cast<NodeId>(j)) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LiveTransport::Endpoint::NothingPending() const {
+  for (const auto& q : pending_) {
+    if (!q.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void LiveTransport::Endpoint::WaitForTraffic(std::chrono::microseconds timeout) {
+  std::vector<WireMsg> none;
+  inbox_.WaitDrain(&none, /*max=*/0, timeout);  // wakes early on arrival
+}
+
+}  // namespace cckvs

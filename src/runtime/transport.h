@@ -1,0 +1,159 @@
+// In-process transport for the live rack: MPSC channels + credit backpressure.
+//
+// Each node owns an Endpoint.  The endpoint implements the consistency
+// engines' MessageSink on the send side and exposes a Poll() pump on the
+// receive side, so the exact ScEngine/LinEngine production code runs on real
+// threads with no changes — the engine still sees a single-threaded host
+// (only the owning node's thread calls into it; peers only enqueue).
+//
+// Flow control mirrors §6.3/§6.4 via the simulator's own primitives
+// (src/rdma/flow_control.h):
+//
+//  * Broadcast traffic (updates, invalidations) spends explicit per-peer
+//    credits from a CreditPool.  With no credit — or with earlier messages
+//    already parked — the message queues in a per-peer FIFO, preserving the
+//    invalidation-then-update order the Lin protocol relies on.  Receivers
+//    return credits in batches (CreditUpdateBatcher); the return ride is a
+//    per-direction atomic counter, the live analogue of the header-only
+//    credit-update message.
+//  * Acks ride on implicit credits: they answer invalidations one-for-one, so
+//    the writer's outstanding invalidations already bound them and they
+//    bypass the pool — exactly the sim's RackNode::SendAck.
+//
+// Channel capacity is sized so that credits + the ack bound keep every
+// channel from ever filling; MpscChannel::full_waits() counts violations of
+// that invariant (zero in a healthy run).
+
+#ifndef CCKVS_RUNTIME_TRANSPORT_H_
+#define CCKVS_RUNTIME_TRANSPORT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "src/protocol/engine.h"
+#include "src/protocol/messages.h"
+#include "src/rdma/flow_control.h"
+#include "src/runtime/channel.h"
+
+namespace cckvs {
+
+// One protocol message on the in-process fabric.
+struct WireMsg {
+  NodeId src = 0;
+  std::variant<UpdateMsg, InvalidateMsg, AckMsg> body;
+};
+
+class LiveTransport {
+ public:
+  struct Config {
+    int num_nodes = 0;
+    int bcast_credits_per_peer = 64;
+    int credit_update_batch = 8;
+    // Per-node inbound channel bound; LiveRack sizes this from credits +
+    // window so that Push never blocks.
+    std::size_t channel_capacity = 4096;
+  };
+
+  class Endpoint final : public MessageSink {
+   public:
+    Endpoint(LiveTransport* transport, NodeId self);
+
+    // --- MessageSink (owning node's thread only) ---
+    void BroadcastUpdate(const UpdateMsg& msg) override;
+    void BroadcastInvalidate(const InvalidateMsg& msg) override;
+    void SendAck(NodeId to, const AckMsg& msg) override;
+
+    // Drains up to `max` inbound messages, invoking handler(const WireMsg&)
+    // for each, then performs receive-side credit accounting.  Owning node's
+    // thread only.  Returns the number of messages processed.
+    template <typename Handler>
+    std::size_t Poll(std::size_t max, Handler&& handler) {
+      scratch_.clear();
+      inbox_.TryDrain(&scratch_, max);
+      for (const WireMsg& msg : scratch_) {
+        handler(msg);
+        if (!std::holds_alternative<AckMsg>(msg.body) &&
+            batcher_.OnReceived(msg.src)) {
+          // Return a credit batch to the sender (header-only message in the
+          // paper; an atomic add here).
+          transport_->endpoints_[msg.src]->returned_[self_].fetch_add(
+              batcher_.batch(), std::memory_order_release);
+          ++credit_returns_;
+        }
+        transport_->inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      return scratch_.size();
+    }
+
+    // Retries credit-parked broadcasts after harvesting returned credits.
+    void FlushPending();
+
+    // True when every peer has at least one broadcast credit (the SC write
+    // throttle point, as in RackNode::AllPeersHaveBcastCredit).
+    bool AllPeersHaveCredit();
+
+    // True when no broadcast is parked waiting for credits.
+    bool NothingPending() const;
+
+    // Sleeps until a message arrives or `timeout` elapses (idle backoff).
+    void WaitForTraffic(std::chrono::microseconds timeout);
+
+    std::uint64_t messages_received() const { return inbox_.pushes(); }
+    std::uint64_t full_waits() const { return inbox_.full_waits(); }
+    std::uint64_t credit_parks() const { return credit_parks_; }
+    std::uint64_t updates_sent() const { return updates_sent_; }
+    std::uint64_t invalidations_sent() const { return invalidations_sent_; }
+    std::uint64_t acks_sent() const { return acks_sent_; }
+    std::uint64_t credit_returns() const { return credit_returns_; }
+
+   private:
+    friend class LiveTransport;
+
+    void SendCredited(NodeId to, WireMsg msg);
+    void HarvestCredits(NodeId peer);
+    void Deliver(NodeId to, WireMsg msg);
+
+    LiveTransport* transport_;
+    NodeId self_;
+    MpscChannel<WireMsg> inbox_;
+    CreditPool bcast_credits_;      // sender side, per peer
+    CreditUpdateBatcher batcher_;   // receiver side, per peer
+    // Credits returned by each peer for the self->peer direction; written by
+    // the peer's thread, harvested by ours.
+    std::vector<std::atomic<int>> returned_;
+    std::vector<std::deque<WireMsg>> pending_;  // per peer, FIFO
+    std::vector<WireMsg> scratch_;              // Poll() batch buffer
+    std::uint64_t credit_parks_ = 0;
+    std::uint64_t updates_sent_ = 0;
+    std::uint64_t invalidations_sent_ = 0;
+    std::uint64_t acks_sent_ = 0;
+    std::uint64_t credit_returns_ = 0;
+  };
+
+  explicit LiveTransport(const Config& config);
+
+  Endpoint& endpoint(NodeId id) { return *endpoints_[id]; }
+  const Config& config() const { return config_; }
+
+  // Messages enqueued but not yet fully processed (handler completed).  Zero
+  // together with all-nodes-quiescent means the rack can produce no further
+  // work — the drain-phase exit condition.
+  std::uint64_t inflight() const {
+    return inflight_.load(std::memory_order_acquire);
+  }
+
+ private:
+  Config config_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::atomic<std::uint64_t> inflight_{0};
+};
+
+}  // namespace cckvs
+
+#endif  // CCKVS_RUNTIME_TRANSPORT_H_

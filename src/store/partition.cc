@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/common/atomic_copy.h"
 #include "src/common/check.h"
 #include "src/common/hash.h"
 
@@ -56,8 +57,10 @@ void Partition::WriteRecord(SlabAllocator::Ref ref, Key key, const Value& value,
   hdr.clock = ts.clock;
   hdr.len = static_cast<std::uint32_t>(value.size());
   hdr.writer = ts.writer;
-  std::memcpy(data, &hdr, sizeof(hdr));
-  std::memcpy(data + sizeof(hdr), value.data(), value.size());
+  // Relaxed atomic stores: lock-free readers may race with this copy and
+  // observe a torn record, which their seqlock version check discards.
+  RelaxedCopyToShared(data, &hdr, sizeof(hdr));
+  RelaxedCopyToShared(data + sizeof(hdr), value.data(), value.size());
 }
 
 bool Partition::Get(Key key, Value* value, Timestamp* ts) const {
@@ -72,7 +75,8 @@ bool Partition::Get(Key key, Value* value, Timestamp* ts) const {
     Timestamp found_ts{};
     const Bucket* bucket = &head;
     while (bucket != nullptr && !found) {
-      for (const Slot& slot : bucket->slots) {
+      for (const AtomicSlot& atomic_slot : bucket->slots) {
+        const Slot slot = atomic_slot.load();
         if (slot.used == 0 || slot.tag != tag) {
           continue;
         }
@@ -81,7 +85,7 @@ bool Partition::Get(Key key, Value* value, Timestamp* ts) const {
           break;  // torn ref; the retry check below sorts it out
         }
         RecordHeader hdr;
-        std::memcpy(&hdr, data, sizeof(hdr));
+        RelaxedCopyFromShared(&hdr, data, sizeof(hdr));
         if (hdr.key != key) {
           continue;  // tag collision
         }
@@ -89,14 +93,15 @@ bool Partition::Get(Key key, Value* value, Timestamp* ts) const {
             SlabAllocator::ClassBytes(slot.ref.cls) - sizeof(RecordHeader);
         const std::size_t len = hdr.len <= capacity ? hdr.len : capacity;
         if (value != nullptr) {
-          value->assign(data + sizeof(hdr), len);
+          value->resize(len);
+          RelaxedCopyFromShared(value->data(), data + sizeof(hdr), len);
         }
         found_ts = Timestamp{hdr.clock, hdr.writer};
         found = true;
         break;
       }
       if (!found) {
-        const std::uint32_t next = bucket->overflow;
+        const std::uint32_t next = bucket->overflow.load(std::memory_order_relaxed);
         bucket = next == kNoOverflow ? nullptr : OverflowBucket(next);
       }
     }
@@ -127,33 +132,37 @@ bool Partition::Get(Key key, Value* value, Timestamp* ts) const {
   return false;
 }
 
-Partition::Slot* Partition::FindSlot(Bucket& head, Key key, std::uint16_t tag) {
+Partition::AtomicSlot* Partition::FindSlot(Bucket& head, Key key, std::uint16_t tag) {
   Bucket* bucket = &head;
   while (bucket != nullptr) {
-    for (Slot& slot : bucket->slots) {
+    for (AtomicSlot& atomic_slot : bucket->slots) {
+      // Under the bucket writer lock the slot cannot change; the relaxed load
+      // just decodes the packed form.
+      const Slot slot = atomic_slot.load();
       if (slot.used != 0 && slot.tag == tag) {
         const char* data = slab_.Data(slot.ref);
         RecordHeader hdr;
-        std::memcpy(&hdr, data, sizeof(hdr));
+        RelaxedCopyFromShared(&hdr, data, sizeof(hdr));
         if (hdr.key == key) {
-          return &slot;
+          return &atomic_slot;
         }
       }
     }
-    bucket = bucket->overflow == kNoOverflow ? nullptr : OverflowBucket(bucket->overflow);
+    const std::uint32_t next = bucket->overflow.load(std::memory_order_relaxed);
+    bucket = next == kNoOverflow ? nullptr : OverflowBucket(next);
   }
   return nullptr;
 }
 
-Partition::Slot* Partition::FreeSlot(Bucket& head) {
+Partition::AtomicSlot* Partition::FreeSlot(Bucket& head) {
   Bucket* bucket = &head;
   while (true) {
-    for (Slot& slot : bucket->slots) {
-      if (slot.used == 0) {
-        return &slot;
+    for (AtomicSlot& atomic_slot : bucket->slots) {
+      if (atomic_slot.load().used == 0) {
+        return &atomic_slot;
       }
     }
-    if (bucket->overflow == kNoOverflow) {
+    if (bucket->overflow.load(std::memory_order_relaxed) == kNoOverflow) {
       // Extend the chain.  Allocation is serialized by overflow_mu_; linking is
       // covered by the head bucket's writer lock held by our caller.
       std::lock_guard<std::mutex> lock(overflow_mu_);
@@ -165,10 +174,10 @@ Partition::Slot* Partition::FreeSlot(Bucket& head) {
         overflow_chunks_[chunk].store(overflow_owned_.back().get(),
                                       std::memory_order_release);
       }
-      bucket->overflow = idx;
+      bucket->overflow.store(idx, std::memory_order_relaxed);
       return &OverflowBucket(idx)->slots[0];
     }
-    bucket = OverflowBucket(bucket->overflow);
+    bucket = OverflowBucket(bucket->overflow.load(std::memory_order_relaxed));
   }
 }
 
@@ -178,32 +187,35 @@ Timestamp Partition::Put(Key key, const Value& value) {
   const std::uint16_t tag = TagOf(h);
   Bucket& head = buckets_[h & bucket_mask_];
   SeqlockWriteGuard guard(head.lock);
-  Slot* slot = FindSlot(head, key, tag);
+  AtomicSlot* found = FindSlot(head, key, tag);
   Timestamp ts;
-  if (slot != nullptr) {
+  if (found != nullptr) {
+    Slot slot = found->load();
     RecordHeader hdr;
-    std::memcpy(&hdr, slab_.Data(slot->ref), sizeof(hdr));
+    RelaxedCopyFromShared(&hdr, slab_.Data(slot.ref), sizeof(hdr));
     ts = Timestamp{hdr.clock + 1, config_.node_id};
     const int needed_cls = SlabAllocator::ClassFor(sizeof(RecordHeader) + value.size());
-    if (needed_cls == slot->ref.cls) {
-      WriteRecord(slot->ref, key, value, ts);
+    if (needed_cls == slot.ref.cls) {
+      WriteRecord(slot.ref, key, value, ts);
     } else {
       const SlabAllocator::Ref fresh =
           slab_.Allocate(sizeof(RecordHeader) + value.size());
       WriteRecord(fresh, key, value, ts);
-      const SlabAllocator::Ref old = slot->ref;
-      slot->ref = fresh;
+      const SlabAllocator::Ref old = slot.ref;
+      slot.ref = fresh;
+      found->store(slot);
       slab_.Free(old);
     }
     return ts;
   }
   ts = Timestamp{1, config_.node_id};
-  slot = FreeSlot(head);
-  const SlabAllocator::Ref ref = slab_.Allocate(sizeof(RecordHeader) + value.size());
-  WriteRecord(ref, key, value, ts);
-  slot->ref = ref;
-  slot->tag = tag;
-  slot->used = 1;
+  AtomicSlot* free_slot = FreeSlot(head);
+  Slot slot;
+  slot.ref = slab_.Allocate(sizeof(RecordHeader) + value.size());
+  WriteRecord(slot.ref, key, value, ts);
+  slot.tag = tag;
+  slot.used = 1;
+  free_slot->store(slot);
   live_records_.fetch_add(1, std::memory_order_relaxed);
   return ts;
 }
@@ -214,33 +226,36 @@ bool Partition::Apply(Key key, const Value& value, Timestamp ts) {
   const std::uint16_t tag = TagOf(h);
   Bucket& head = buckets_[h & bucket_mask_];
   SeqlockWriteGuard guard(head.lock);
-  Slot* slot = FindSlot(head, key, tag);
-  if (slot != nullptr) {
+  AtomicSlot* found = FindSlot(head, key, tag);
+  if (found != nullptr) {
+    Slot slot = found->load();
     RecordHeader hdr;
-    std::memcpy(&hdr, slab_.Data(slot->ref), sizeof(hdr));
+    RelaxedCopyFromShared(&hdr, slab_.Data(slot.ref), sizeof(hdr));
     if (Timestamp{hdr.clock, hdr.writer} >= ts) {
       stale_applies_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     const int needed_cls = SlabAllocator::ClassFor(sizeof(RecordHeader) + value.size());
-    if (needed_cls == slot->ref.cls) {
-      WriteRecord(slot->ref, key, value, ts);
+    if (needed_cls == slot.ref.cls) {
+      WriteRecord(slot.ref, key, value, ts);
     } else {
       const SlabAllocator::Ref fresh =
           slab_.Allocate(sizeof(RecordHeader) + value.size());
       WriteRecord(fresh, key, value, ts);
-      const SlabAllocator::Ref old = slot->ref;
-      slot->ref = fresh;
+      const SlabAllocator::Ref old = slot.ref;
+      slot.ref = fresh;
+      found->store(slot);
       slab_.Free(old);
     }
     return true;
   }
-  slot = FreeSlot(head);
-  const SlabAllocator::Ref ref = slab_.Allocate(sizeof(RecordHeader) + value.size());
-  WriteRecord(ref, key, value, ts);
-  slot->ref = ref;
-  slot->tag = tag;
-  slot->used = 1;
+  AtomicSlot* free_slot = FreeSlot(head);
+  Slot slot;
+  slot.ref = slab_.Allocate(sizeof(RecordHeader) + value.size());
+  WriteRecord(slot.ref, key, value, ts);
+  slot.tag = tag;
+  slot.used = 1;
+  free_slot->store(slot);
   live_records_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
@@ -250,12 +265,14 @@ bool Partition::Erase(Key key) {
   const std::uint16_t tag = TagOf(h);
   Bucket& head = buckets_[h & bucket_mask_];
   SeqlockWriteGuard guard(head.lock);
-  Slot* slot = FindSlot(head, key, tag);
-  if (slot == nullptr) {
+  AtomicSlot* found = FindSlot(head, key, tag);
+  if (found == nullptr) {
     return false;
   }
-  slot->used = 0;
-  slab_.Free(slot->ref);
+  Slot slot = found->load();
+  slot.used = 0;
+  found->store(slot);
+  slab_.Free(slot.ref);
   live_records_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
@@ -269,14 +286,15 @@ bool Partition::Contains(Key key) const {
     bool found = false;
     const Bucket* bucket = &head;
     while (bucket != nullptr && !found) {
-      for (const Slot& slot : bucket->slots) {
+      for (const AtomicSlot& atomic_slot : bucket->slots) {
+        const Slot slot = atomic_slot.load();
         if (slot.used != 0 && slot.tag == tag) {
           const char* data = slab_.TryData(slot.ref);
           if (data == nullptr) {
             break;
           }
           RecordHeader hdr;
-          std::memcpy(&hdr, data, sizeof(hdr));
+          RelaxedCopyFromShared(&hdr, data, sizeof(hdr));
           if (hdr.key == key) {
             found = true;
             break;
@@ -284,7 +302,7 @@ bool Partition::Contains(Key key) const {
         }
       }
       if (!found) {
-        const std::uint32_t next = bucket->overflow;
+        const std::uint32_t next = bucket->overflow.load(std::memory_order_relaxed);
         bucket = next == kNoOverflow ? nullptr : OverflowBucket(next);
       }
     }

@@ -65,6 +65,23 @@ class SlabAllocator {
     return arena_bytes_.load(std::memory_order_relaxed);
   }
 
+  // Point-in-time snapshot of the atomic counters; safe to call from any
+  // thread concurrently with Allocate/Free (live-runtime reporting path).
+  struct Stats {
+    std::uint64_t allocated_slots = 0;
+    std::uint64_t freed_slots = 0;
+    std::uint64_t live_slots = 0;
+    std::uint64_t arena_bytes = 0;
+  };
+  Stats stats() const {
+    Stats s;
+    s.allocated_slots = allocated_slots();
+    s.freed_slots = freed_slots();
+    s.live_slots = s.allocated_slots - s.freed_slots;
+    s.arena_bytes = arena_bytes();
+    return s;
+  }
+
  private:
   // Slots per arena chunk, per class (kept small so tiny tests stay tiny).
   static constexpr std::uint32_t kChunkSlots = 1024;

@@ -92,4 +92,20 @@ Op WorkloadGenerator::Next() {
   return op;
 }
 
+std::uint64_t PerThreadSeed(std::uint64_t seed, std::uint32_t t) {
+  return Mix64(seed ^ (0x9e37u + t));
+}
+
+std::vector<WorkloadGenerator> MakePerThreadGenerators(const WorkloadConfig& config,
+                                                       int threads,
+                                                       std::uint64_t seed) {
+  std::vector<WorkloadGenerator> gens;
+  gens.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    gens.emplace_back(config, /*writer_tag=*/static_cast<std::uint32_t>(t),
+                      PerThreadSeed(seed, static_cast<std::uint32_t>(t)));
+  }
+  return gens;
+}
+
 }  // namespace cckvs

@@ -46,6 +46,11 @@ Value MakeWriteValue(std::uint32_t writer_tag, std::uint64_t seq,
 // (never-written) values.
 bool ParseWriteValue(const Value& value, std::uint32_t* writer_tag, std::uint64_t* seq);
 
+// Seed for generator `t` of a run seeded with `seed`.  One derivation shared
+// by the simulated rack (one generator per node) and the live runtime (one
+// generator per node thread), so the two hosts replay identical op streams.
+std::uint64_t PerThreadSeed(std::uint64_t seed, std::uint32_t t);
+
 class WorkloadGenerator {
  public:
   // `writer_tag` must be unique per generator in a run (e.g. node id or session
@@ -75,6 +80,14 @@ class WorkloadGenerator {
   std::uint64_t seq_ = 0;
   std::uint64_t ops_ = 0;
 };
+
+// One generator per concurrent client thread: thread t gets writer tag t (so
+// PUT payloads stay globally unique) and PerThreadSeed(seed, t), while all
+// share the config's scramble seed and therefore agree on the rank-to-key
+// bijection — the property the symmetric hot set depends on.
+std::vector<WorkloadGenerator> MakePerThreadGenerators(const WorkloadConfig& config,
+                                                       int threads,
+                                                       std::uint64_t seed);
 
 }  // namespace cckvs
 

@@ -1,0 +1,95 @@
+// Determinism regression: two RackSimulation runs with identical RackParams
+// must produce bit-identical RackReports.  docs/BENCHMARKS.md leans on this —
+// every figure bench compares runs across parameter sweeps assuming the only
+// varying input is the parameter, and EXPERIMENTS shapes are only meaningful
+// if reruns reproduce exactly.
+
+#include <gtest/gtest.h>
+
+#include "src/cckvs/rack.h"
+
+namespace cckvs {
+namespace {
+
+RackReport RunOnce(const RackParams& p) {
+  RackSimulation rack(p);
+  return rack.Run(/*measure_ns=*/200'000, /*warmup_ns=*/50'000);
+}
+
+// Field-by-field exact comparison (doubles compared bit-for-bit via ==; any
+// nondeterminism shows up as a plain value mismatch with a readable name).
+void ExpectIdentical(const RackReport& a, const RackReport& b) {
+  EXPECT_EQ(a.duration_s, b.duration_s);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.mrps, b.mrps);
+  EXPECT_EQ(a.hit_rate, b.hit_rate);
+  EXPECT_EQ(a.hit_mrps, b.hit_mrps);
+  EXPECT_EQ(a.miss_mrps, b.miss_mrps);
+  EXPECT_EQ(a.avg_latency_us, b.avg_latency_us);
+  EXPECT_EQ(a.p50_latency_us, b.p50_latency_us);
+  EXPECT_EQ(a.p95_latency_us, b.p95_latency_us);
+  EXPECT_EQ(a.p99_latency_us, b.p99_latency_us);
+  EXPECT_EQ(a.tx_gbps_per_node, b.tx_gbps_per_node);
+  EXPECT_EQ(a.header_gbps_per_node, b.header_gbps_per_node);
+  EXPECT_EQ(a.payload_gbps_per_node, b.payload_gbps_per_node);
+  for (int c = 0; c < static_cast<int>(TrafficClass::kNumClasses); ++c) {
+    EXPECT_EQ(a.class_gbps[c], b.class_gbps[c]) << "traffic class " << c;
+  }
+  EXPECT_EQ(a.worker_utilization, b.worker_utilization);
+  EXPECT_EQ(a.kvs_utilization, b.kvs_utilization);
+  EXPECT_EQ(a.updates_sent, b.updates_sent);
+  EXPECT_EQ(a.invalidations_sent, b.invalidations_sent);
+  EXPECT_EQ(a.acks_sent, b.acks_sent);
+  EXPECT_EQ(a.credit_updates_sent, b.credit_updates_sent);
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_EQ(a.hot_set_churn, b.hot_set_churn);
+}
+
+RackParams SmallRack(SystemKind kind, ConsistencyModel model) {
+  RackParams p;
+  p.kind = kind;
+  p.consistency = model;
+  p.num_nodes = 4;
+  p.workload.keyspace = 100'000;
+  p.workload.write_ratio = 0.05;
+  p.cache_capacity = 500;
+  p.seed = 42;
+  return p;
+}
+
+TEST(DeterminismTest, CcKvsScReportsAreBitIdentical) {
+  const RackParams p = SmallRack(SystemKind::kCcKvs, ConsistencyModel::kSc);
+  ExpectIdentical(RunOnce(p), RunOnce(p));
+}
+
+TEST(DeterminismTest, CcKvsLinReportsAreBitIdentical) {
+  const RackParams p = SmallRack(SystemKind::kCcKvs, ConsistencyModel::kLin);
+  ExpectIdentical(RunOnce(p), RunOnce(p));
+}
+
+TEST(DeterminismTest, BaselinesAreBitIdentical) {
+  for (const SystemKind kind :
+       {SystemKind::kBase, SystemKind::kBaseErew, SystemKind::kCentralCache}) {
+    const RackParams p = SmallRack(kind, ConsistencyModel::kSc);
+    ExpectIdentical(RunOnce(p), RunOnce(p));
+  }
+}
+
+TEST(DeterminismTest, OnlineTopkIsDeterministicToo) {
+  RackParams p = SmallRack(SystemKind::kCcKvs, ConsistencyModel::kSc);
+  p.online_topk = true;
+  p.topk_epoch_requests = 20'000;
+  ExpectIdentical(RunOnce(p), RunOnce(p));
+}
+
+// Different seeds must actually change the run (guards against the test
+// passing vacuously because reports are all zero / constant).
+TEST(DeterminismTest, SeedsMatter) {
+  RackParams a = SmallRack(SystemKind::kCcKvs, ConsistencyModel::kSc);
+  RackParams b = a;
+  b.seed = 43;
+  EXPECT_NE(RunOnce(a).completed, RunOnce(b).completed);
+}
+
+}  // namespace
+}  // namespace cckvs

@@ -1,0 +1,142 @@
+// Live multithreaded rack (src/runtime/): real threads running the production
+// store/cache/engine code, certified by the verify/ checkers.
+//
+// These are the tests the CI sanitizer matrix exists for: under TSan they
+// exercise the CRCW seqlock path, the MPSC channels and the credit scheme
+// with genuine concurrency.  Op counts scale down under sanitizers (and up
+// via CCKVS_LIVE_OPS) — a plain Release run covers millions of operations.
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/live_rack.h"
+#include "src/verify/history.h"
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define CCKVS_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define CCKVS_SANITIZED 1
+#endif
+#endif
+
+namespace cckvs {
+namespace {
+
+std::uint64_t OpsPerNode(std::uint64_t release_default, std::uint64_t sanitized) {
+  if (const char* env = std::getenv("CCKVS_LIVE_OPS"); env != nullptr) {
+    return std::strtoull(env, nullptr, 10);
+  }
+#ifdef CCKVS_SANITIZED
+  (void)release_default;
+  return sanitized;
+#else
+  (void)sanitized;
+  return release_default;
+#endif
+}
+
+LiveRackParams StressParams(ConsistencyModel model) {
+  LiveRackParams p;
+  p.num_nodes = 4;
+  p.consistency = model;
+  // Small keyspace + small cache: maximal hot-key contention, a healthy miss
+  // stream through the CRCW shards, and lots of protocol traffic.
+  p.workload.keyspace = 16'384;
+  p.workload.zipf_alpha = 0.99;
+  p.workload.write_ratio = 0.2;
+  p.workload.value_bytes = 16;  // SSO-sized: histories of millions of ops stay cheap
+  p.cache_capacity = 512;
+  p.partition_buckets = 1 << 10;
+  p.window_per_node = 8;
+  p.record_history = true;
+  p.seed = 7;
+  return p;
+}
+
+void ExpectHealthyRun(const LiveRackParams& p, const LiveReport& r) {
+  EXPECT_GE(r.completed, p.ops_per_node * static_cast<std::uint64_t>(p.num_nodes));
+  EXPECT_GT(r.rack.hit_rate, 0.0);
+  EXPECT_LT(r.rack.hit_rate, 1.0);  // the keyspace tail misses
+  // The credit sizing must have kept every channel below its bound.
+  EXPECT_EQ(r.channel_full_waits, 0u);
+}
+
+TEST(LiveRackTest, ScStressHistoriesAreSequentiallyConsistent) {
+  LiveRackParams p = StressParams(ConsistencyModel::kSc);
+  p.ops_per_node = OpsPerNode(250'000, 30'000);
+  LiveRack rack(p);
+  const LiveReport r = rack.Run();
+  ExpectHealthyRun(p, r);
+  EXPECT_GT(r.engine_totals.writes, 0u);
+  EXPECT_GT(r.rack.updates_sent, 0u);
+  EXPECT_EQ(r.rack.invalidations_sent, 0u);  // SC has no invalidation phase
+
+  EXPECT_EQ(rack.history().size(), r.completed);
+  EXPECT_EQ(rack.history().CheckPerKeySequentialConsistency(), "");
+  EXPECT_EQ(rack.history().CheckWriteAtomicity(), "");
+}
+
+TEST(LiveRackTest, LinStressHistoriesAreLinearizable) {
+  LiveRackParams p = StressParams(ConsistencyModel::kLin);
+  p.ops_per_node = OpsPerNode(250'000, 30'000);
+  LiveRack rack(p);
+  const LiveReport r = rack.Run();
+  ExpectHealthyRun(p, r);
+  EXPECT_GT(r.rack.invalidations_sent, 0u);
+  EXPECT_GT(r.rack.acks_sent, 0u);
+  // Every invalidation is acknowledged — the deadlock-freedom linchpin.
+  EXPECT_EQ(r.rack.acks_sent, r.rack.invalidations_sent);
+
+  EXPECT_EQ(rack.history().size(), r.completed);
+  EXPECT_EQ(rack.history().CheckPerKeyLinearizability(), "");
+  EXPECT_EQ(rack.history().CheckWriteAtomicity(), "");
+}
+
+// A deliberately vicious interleaving mill: nearly every key is hot, a third
+// of ops are writes, so concurrent writers collide on the same entries
+// constantly (superseded writes, update-overtakes-invalidation, queued local
+// writes all trigger).
+TEST(LiveRackTest, HotContentionBothModels) {
+  for (const ConsistencyModel model :
+       {ConsistencyModel::kSc, ConsistencyModel::kLin}) {
+    LiveRackParams p = StressParams(model);
+    p.workload.keyspace = 512;
+    p.workload.write_ratio = 0.3;
+    p.cache_capacity = 128;
+    p.ops_per_node = OpsPerNode(50'000, 10'000);
+    p.seed = 11;
+    LiveRack rack(p);
+    const LiveReport r = rack.Run();
+    ExpectHealthyRun(p, r);
+    const std::string err = model == ConsistencyModel::kSc
+                                ? rack.history().CheckPerKeySequentialConsistency()
+                                : rack.history().CheckPerKeyLinearizability();
+    EXPECT_EQ(err, "") << "model=" << ToString(model);
+    EXPECT_EQ(rack.history().CheckWriteAtomicity(), "") << "model=" << ToString(model);
+  }
+}
+
+// The cooperative stop token halts issuing early but still drains to global
+// quiescence, so the sealed history stays checker-clean.
+TEST(LiveRackTest, EarlyStopStillSealsHistories) {
+  LiveRackParams p = StressParams(ConsistencyModel::kLin);
+  p.ops_per_node = 100'000'000;  // unreachable: the stop token ends the run
+  LiveRack rack(p);
+  std::thread stopper([&rack] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    rack.RequestStop();
+  });
+  const LiveReport r = rack.Run();
+  stopper.join();
+  EXPECT_GT(r.completed, 0u);
+  EXPECT_LT(r.completed, p.ops_per_node * static_cast<std::uint64_t>(p.num_nodes));
+  EXPECT_EQ(rack.history().CheckPerKeyLinearizability(), "");
+}
+
+}  // namespace
+}  // namespace cckvs
