@@ -10,8 +10,12 @@
 //   --smoke        tiny simulation windows — seconds instead of minutes; CI's
 //                  bench-smoke job uses this to keep every figure runnable on
 //                  every PR
-//   --json=PATH    append each run's RackReport (plus its labelled params) to
-//                  PATH as a JSON array at exit, so runs diff PR-to-PR
+//   --json=PATH    write each run's RackReport (plus its labelled params) to
+//                  PATH at exit, so runs diff PR-to-PR.  The file is an object
+//                  {"meta": {...}, "entries": [...]}: `meta` embeds the git
+//                  sha, build type, binary name and smoke flag so uploaded
+//                  artifacts are attributable and diffable across PRs
+//                  (tools/bench_delta.py consumes this shape).
 // Env fallbacks CCKVS_BENCH_SMOKE=1 / CCKVS_BENCH_JSON=PATH work when argv is
 // inconvenient (wrapper scripts).
 
@@ -27,9 +31,19 @@
 
 #include "src/cckvs/rack.h"
 #include "src/cckvs/report_util.h"
+#include "src/runtime/report.h"
 
 namespace cckvs {
 namespace bench {
+
+// Build-time identity, injected by CMake so every JSON artifact records what
+// produced it.
+#ifndef CCKVS_GIT_SHA
+#define CCKVS_GIT_SHA "unknown"
+#endif
+#ifndef CCKVS_BUILD_TYPE
+#define CCKVS_BUILD_TYPE "unknown"
+#endif
 
 struct BenchFlags {
   bool smoke = false;
@@ -43,6 +57,7 @@ struct JsonEntry {
 
 struct BenchState {
   BenchFlags flags;
+  std::string binary_name;
   std::vector<JsonEntry> entries;
 };
 
@@ -71,16 +86,20 @@ inline void WriteJson() {
     std::fprintf(stderr, "bench: cannot write %s\n", state.flags.json_path.c_str());
     return;
   }
-  std::fprintf(f, "[\n");
+  std::fprintf(f,
+               "{\n  \"meta\": {\"git_sha\": \"%s\", \"build_type\": \"%s\", "
+               "\"binary\": \"%s\", \"smoke\": %s},\n  \"entries\": [\n",
+               CCKVS_GIT_SHA, CCKVS_BUILD_TYPE, state.binary_name.c_str(),
+               state.flags.smoke ? "true" : "false");
   for (std::size_t i = 0; i < state.entries.size(); ++i) {
     const JsonEntry& e = state.entries[i];
-    std::fprintf(f, "  {\"label\": \"%s\"", e.label.c_str());
+    std::fprintf(f, "    {\"label\": \"%s\"", e.label.c_str());
     for (const auto& [name, value] : e.fields) {
       std::fprintf(f, ", \"%s\": %.17g", name.c_str(), value);
     }
     std::fprintf(f, "}%s\n", i + 1 < state.entries.size() ? "," : "");
   }
-  std::fprintf(f, "]\n");
+  std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
 }
 
@@ -88,6 +107,11 @@ inline void WriteJson() {
 // writer to run at exit (after the bench's normal table output).
 inline void Init(int argc, char** argv) {
   BenchFlags& flags = State().flags;
+  if (argc > 0 && argv[0] != nullptr) {
+    const std::string path = argv[0];
+    const std::size_t slash = path.find_last_of('/');
+    State().binary_name = slash == std::string::npos ? path : path.substr(slash + 1);
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       flags.smoke = true;
@@ -191,6 +215,24 @@ inline RackReport RunRack(const RackParams& p, SimTime measure_ns, SimTime warmu
 inline RackReport RunRack(const RackParams& p, const char* label_detail = nullptr) {
   const RunWindows w = WindowsFor(p);
   return RunRack(p, w.measure_ns, w.warmup_ns, label_detail);
+}
+
+// Flat field view of a LiveReport: the shared RackReport fields plus the
+// live-only observables, for the same JSON artifacts.
+inline std::vector<std::pair<std::string, double>> LiveReportFields(
+    const LiveReport& r) {
+  auto fields = ReportFields(r.rack);
+  fields.emplace_back("wall_seconds", r.wall_seconds);
+  fields.emplace_back("channel_messages", static_cast<double>(r.channel_messages));
+  fields.emplace_back("channel_full_waits",
+                      static_cast<double>(r.channel_full_waits));
+  fields.emplace_back("credit_parks", static_cast<double>(r.credit_parks));
+  fields.emplace_back("sc_credit_stalls", static_cast<double>(r.sc_credit_stalls));
+  fields.emplace_back("epoch_msgs", static_cast<double>(r.epoch_msgs));
+  fields.emplace_back("gate_retries", static_cast<double>(r.gate_retries));
+  fields.emplace_back("store_read_retries",
+                      static_cast<double>(r.store_read_retries));
+  return fields;
 }
 
 inline void PrintHeaderRule() {

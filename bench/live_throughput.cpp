@@ -59,16 +59,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(lr.rack.updates_sent +
                                                 lr.rack.invalidations_sent));
 
-    auto fields = ReportFields(lr.rack);
-    fields.emplace_back("wall_seconds", lr.wall_seconds);
-    fields.emplace_back("channel_messages", static_cast<double>(lr.channel_messages));
-    fields.emplace_back("channel_full_waits",
-                        static_cast<double>(lr.channel_full_waits));
-    fields.emplace_back("credit_parks", static_cast<double>(lr.credit_parks));
-    fields.emplace_back("sc_credit_stalls", static_cast<double>(lr.sc_credit_stalls));
-    fields.emplace_back("store_read_retries",
-                        static_cast<double>(lr.store_read_retries));
-    RecordEntry(std::string("live ccKVS/") + ToString(model), std::move(fields));
+    RecordEntry(std::string("live ccKVS/") + ToString(model), LiveReportFields(lr));
   }
 
   PrintHeaderRule();

@@ -73,6 +73,36 @@ std::vector<SymmetricCache::Eviction> SymmetricCache::InstallHotSet(
   return dirty;
 }
 
+void SymmetricCache::Admit(Key key) {
+  entries_.try_emplace(key);  // default CacheEntry starts in kFilling
+}
+
+bool SymmetricCache::Evict(Key key, Eviction* dirty_out) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return false;
+  }
+  ++stats_.evictions;
+  const bool dirty = it->second.dirty;
+  if (dirty) {
+    ++stats_.dirty_evictions;
+    // As in InstallHotSet: flush the installed (value, value_ts) pair, never
+    // the header timestamp of a transient state.
+    *dirty_out = Eviction{key, std::move(it->second.value), it->second.value_ts};
+  }
+  entries_.erase(it);
+  return dirty;
+}
+
+std::vector<Key> SymmetricCache::Keys() const {
+  std::vector<Key> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    keys.push_back(key);
+  }
+  return keys;
+}
+
 std::vector<Key> SymmetricCache::PendingFills() const {
   std::vector<Key> pending;
   for (const auto& [key, entry] : entries_) {

@@ -126,6 +126,18 @@ class SymmetricCache {
   // Fill() provides their value.  Returns the dirty evictions.
   std::vector<Eviction> InstallHotSet(const std::vector<Key>& keys);
 
+  // Per-key membership primitives, used by the epoch machinery
+  // (topk::HotSetManager) so protocol-unsafe evictions can be deferred while
+  // the rest of a transition proceeds.  Admit does not enforce capacity_: a
+  // node holding deferred evictions transiently exceeds it by their count.
+  void Admit(Key key);  // no-op if present; enters in kFilling
+  // Removes `key` (no-op if absent).  Returns true and fills *dirty_out when
+  // the departing entry carried an unflushed write.
+  bool Evict(Key key, Eviction* dirty_out);
+
+  // Current membership, unordered.
+  std::vector<Key> Keys() const;
+
   // Keys currently in kFilling state (need a fetch from their home shard).
   std::vector<Key> PendingFills() const;
 

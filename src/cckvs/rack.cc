@@ -51,13 +51,19 @@ class RackNode final : public MessageSink {
   void BroadcastInvalidate(const InvalidateMsg& msg) override;
   void SendAck(NodeId to, const AckMsg& msg) override;
 
-  // --- Epoch machinery ---
-  void InstallHotSet(const std::vector<Key>& keys);
-  void AnnounceHotSet(const std::vector<Key>& keys);  // coordinator only
+  // --- Epoch machinery (delegates membership to the HotSetManager) ---
+  void AnnounceHotSet(const HotSetAnnounceMsg& msg);  // coordinator only
+  void ApplyAnnounce(const HotSetAnnounceMsg& msg);
+  void HandleTransition(HotSetManager::Transition t);
+  void MaybeRetryDeferred();
+  // Posts `body` to every peer on the control QP; returns the send CPU cost.
+  SimTime BroadcastControl(std::shared_ptr<const Buffer> body, TrafficClass cls,
+                           std::uint32_t payload_bytes_override = 0);
 
   // --- Introspection ---
   const SymmetricCache* cache() const { return cache_.get(); }
   const CoherenceEngine* engine() const { return engine_.get(); }
+  const HotSetManager* hot_set_manager() const { return hot_mgr_.get(); }
   const Partition* partition(int kvs_thread) const {
     return partitions_[static_cast<std::size_t>(
                            kvs_thread % static_cast<int>(partitions_.size()))]
@@ -161,6 +167,7 @@ class RackNode final : public MessageSink {
   std::vector<std::unique_ptr<Partition>> partitions_;
   std::unique_ptr<SymmetricCache> cache_;
   std::unique_ptr<CoherenceEngine> engine_;
+  std::unique_ptr<HotSetManager> hot_mgr_;  // online_topk runs only
 
   std::unique_ptr<ServicePool> workers_;
   std::vector<std::unique_ptr<ServicePool>> kvs_pools_;
@@ -249,6 +256,21 @@ RackNode::RackNode(RackSimulation* rack, NodeId id)
     engine_ = std::make_unique<LinEngine>(id, /*num_nodes=*/1, cache_.get(), this);
   }
 
+  // Hot-set subsystem (§4): node 0 doubles as the epoch coordinator; every
+  // node runs the member side (install, deferral, fills, install barrier).
+  if (p.kind == SystemKind::kCcKvs && p.online_topk) {
+    HotSetManagerConfig hc;
+    hc.self = id;
+    hc.num_nodes = p.num_nodes;
+    hc.coordinator = id == 0;
+    hc.epoch.hot_set_size = p.cache_capacity;
+    hc.epoch.requests_per_epoch = p.topk_epoch_requests;
+    hc.epoch.sample_probability = p.topk_sample_probability;
+    hc.epoch.seed = p.seed ^ 0x70cull;
+    hc.home_of = [rack](Key key) { return rack->HomeOf(key); };
+    hot_mgr_ = std::make_unique<HotSetManager>(hc, cache_.get(), engine_.get());
+  }
+
   // RDMA endpoint and QPs.
   endpoint_ = std::make_unique<RdmaEndpoint>(rack->net_.get(), id, p.nic);
   const int peers = p.num_nodes - 1;
@@ -306,6 +328,11 @@ void RackNode::PrefillHotSet(const std::vector<Key>& hot_keys) {
     cache_->Fill(key, SynthesizeValue(key, params().workload.value_bytes),
                  Timestamp{0, 0});
   }
+  if (hot_mgr_ != nullptr && hot_mgr_->coordinator()) {
+    // Keys the first epoch drops from the oracle set must settle like any
+    // published eviction before they are eligible for re-admission.
+    hot_mgr_->SeedPublished(hot_keys);
+  }
 }
 
 void RackNode::Start() {
@@ -355,10 +382,8 @@ void RackNode::GenerateOp(std::uint32_t slot) {
   st.op = gen_.Next();
   st.start = sim().now();
   st.via_cache = false;
-  if (rack_->coordinator_ != nullptr && id_ == 0) {
-    if (rack_->coordinator_->OnRequest(st.op.key)) {
-      AnnounceHotSet(rack_->coordinator_->CurrentHotSet());
-    }
+  if (hot_mgr_ != nullptr && hot_mgr_->coordinator() && hot_mgr_->Sample(st.op.key)) {
+    AnnounceHotSet(hot_mgr_->announcement());
   }
   workers_->Submit(kClientParseNs + params().cpu.cache_probe_ns +
                        endpoint_->PollSweepCost(),
@@ -895,6 +920,7 @@ void RackNode::OnConsistencyRecv(const Datagram& dg) {
           PartitionFor(msg.key).Apply(msg.key, msg.value, msg.ts);
         }
         MaybeSendCreditUpdate(dg.src);
+        MaybeRetryDeferred();
       });
       break;
     }
@@ -910,6 +936,7 @@ void RackNode::OnConsistencyRecv(const Datagram& dg) {
       workers_->Submit(p.cpu.ack_apply_ns, [this, dg] {
         const AckMsg msg = DeserializeAck(*dg.body);
         engine_->OnAck(dg.src, msg);
+        MaybeRetryDeferred();  // the ack may have completed a deferring write
       });
       break;
     }
@@ -948,10 +975,9 @@ void RackNode::OnCreditRecv(const Datagram& dg) {
 // Epoch machinery (online top-k)
 // ---------------------------------------------------------------------------
 
-void RackNode::AnnounceHotSet(const std::vector<Key>& keys) {
-  // Coordinator broadcast (control class), then local installation.
-  auto body = std::make_shared<Buffer>();
-  SerializeHotSet(keys, body.get());
+SimTime RackNode::BroadcastControl(std::shared_ptr<const Buffer> body,
+                                   TrafficClass cls,
+                                   std::uint32_t payload_bytes_override) {
   std::vector<UdQp::SendWr> batch;
   for (int j = 0; j < params().num_nodes; ++j) {
     if (j == id_) {
@@ -960,42 +986,54 @@ void RackNode::AnnounceHotSet(const std::vector<Key>& keys) {
     UdQp::SendWr wr;
     wr.dst = static_cast<NodeId>(j);
     wr.dst_qpn = kQpControl;
-    wr.cls = TrafficClass::kControl;
+    wr.cls = cls;
     wr.header_bytes = params().wire.header_bytes;
     wr.body = body;
+    wr.payload_bytes_override = payload_bytes_override;
     batch.push_back(std::move(wr));
   }
-  const SimTime cpu = control_qp_->PostSendBatch(batch);
-  workers_->Submit(cpu, [this, keys] { InstallHotSet(keys); });
+  return control_qp_->PostSendBatch(batch);
 }
 
-void RackNode::InstallHotSet(const std::vector<Key>& keys) {
-  if (cache_ == nullptr) {
+void RackNode::AnnounceHotSet(const HotSetAnnounceMsg& msg) {
+  // Coordinator broadcast (control class), then local installation.
+  auto body = std::make_shared<Buffer>();
+  SerializeHotSet(msg, body.get());
+  const SimTime cpu = BroadcastControl(std::move(body), TrafficClass::kControl);
+  workers_->Submit(cpu, [this, msg] { ApplyAnnounce(msg); });
+}
+
+void RackNode::ApplyAnnounce(const HotSetAnnounceMsg& msg) {
+  if (hot_mgr_ == nullptr) {
     return;
   }
+  HandleTransition(hot_mgr_->Apply(msg));
+}
+
+void RackNode::MaybeRetryDeferred() {
+  if (hot_mgr_ != nullptr && hot_mgr_->HasDeferred()) {
+    HandleTransition(hot_mgr_->RetryDeferred());
+  }
+}
+
+void RackNode::HandleTransition(HotSetManager::Transition t) {
   const RackParams& p = params();
-  const auto dirty = cache_->InstallHotSet(keys);
   // Write-back: flush dirty evictions whose shard lives here (§4: "only the
   // node containing the shard with the evicted key needs to ... update the
   // underlying KVS").  Symmetric contents make the local copy sufficient.
-  for (const auto& ev : dirty) {
-    if (rack_->HomeOf(ev.key) == id_) {
-      PartitionFor(ev.key).Apply(ev.key, ev.value, ev.ts);
-    }
+  for (const auto& ev : t.home_writebacks) {
+    PartitionFor(ev.key).Apply(ev.key, ev.value, ev.ts);
   }
   // Fill newly admitted keys homed here, locally and at every peer.
   std::vector<FillMsg> fills;
-  for (const Key key : cache_->PendingFills()) {
-    if (rack_->HomeOf(key) != id_) {
-      continue;
-    }
+  for (const Key key : t.fill_duties) {
     FillMsg f;
     f.key = key;
+    f.epoch = hot_mgr_->target_epoch();
     Timestamp ts;
     PartitionFor(key).Get(key, &f.value, &ts);
     f.ts = ts;
-    cache_->Fill(key, f.value, f.ts);
-    engine_->OnFilled(key);
+    hot_mgr_->ApplyFill(f);
     fills.push_back(std::move(f));
   }
   // Ship fills in chunks.
@@ -1010,21 +1048,17 @@ void RackNode::InstallHotSet(const std::vector<Key>& keys) {
     for (const FillMsg& f : chunk) {
       payload += p.wire.update_base_payload + static_cast<std::uint32_t>(f.value.size());
     }
-    std::vector<UdQp::SendWr> batch;
-    for (int j = 0; j < p.num_nodes; ++j) {
-      if (j == id_) {
-        continue;
-      }
-      UdQp::SendWr wr;
-      wr.dst = static_cast<NodeId>(j);
-      wr.dst_qpn = kQpControl;
-      wr.cls = TrafficClass::kCacheFill;
-      wr.header_bytes = p.wire.header_bytes;
-      wr.body = body;
-      wr.payload_bytes_override = payload;
-      batch.push_back(std::move(wr));
-    }
-    const SimTime cpu = control_qp_->PostSendBatch(batch);
+    const SimTime cpu =
+        BroadcastControl(std::move(body), TrafficClass::kCacheFill, payload);
+    workers_->Submit(cpu, nullptr);
+  }
+  // Install barrier: tell the rack this node finished the epoch.  The sim's
+  // miss path serializes through the home node's cache, so `ungated` needs no
+  // action here (the live runtime clears its shard residency gate instead).
+  if (t.installed_advanced) {
+    auto body = std::make_shared<Buffer>();
+    SerializeEpochInstalled(EpochInstalledMsg{t.installed_epoch}, body.get());
+    const SimTime cpu = BroadcastControl(std::move(body), TrafficClass::kControl);
     workers_->Submit(cpu, nullptr);
   }
 }
@@ -1032,10 +1066,17 @@ void RackNode::InstallHotSet(const std::vector<Key>& keys) {
 void RackNode::OnControlRecv(const Datagram& dg) {
   control_qp_->PostRecvs(1);
   if (dg.cls == TrafficClass::kControl) {
-    workers_->Submit(200, [this, dg] {
-      const auto keys = DeserializeHotSet(*dg.body);
-      InstallHotSet(keys);
-    });
+    if (PeekControlTag(*dg.body) == kCtrlTagHotSet) {
+      workers_->Submit(200, [this, dg] { ApplyAnnounce(DeserializeHotSet(*dg.body)); });
+    } else {
+      workers_->Submit(params().cpu.credit_handle_ns, [this, dg] {
+        if (hot_mgr_ == nullptr) {
+          return;
+        }
+        const EpochInstalledMsg msg = DeserializeEpochInstalled(*dg.body);
+        hot_mgr_->OnPeerInstalled(dg.src, msg.epoch);
+      });
+    }
     return;
   }
   CCKVS_CHECK(dg.cls == TrafficClass::kCacheFill);
@@ -1044,15 +1085,13 @@ void RackNode::OnControlRecv(const Datagram& dg) {
 
 void RackNode::HandleFills(const Datagram& dg) {
   workers_->Submit(params().cpu.upd_apply_ns, [this, dg] {
-    if (cache_ == nullptr) {
+    if (hot_mgr_ == nullptr) {
       return;
     }
     for (const FillMsg& f : DeserializeFills(*dg.body)) {
-      if (cache_->Find(f.key) != nullptr) {
-        cache_->Fill(f.key, f.value, f.ts);
-        engine_->OnFilled(f.key);
-      }
+      hot_mgr_->ApplyFill(f);
     }
+    MaybeRetryDeferred();  // fills may have released reader-parked evictions
   });
 }
 
@@ -1093,15 +1132,6 @@ RackSimulation::RackSimulation(const RackParams& params) : params_(params) {
   net_ = std::make_unique<Network>(&sim_, net_cfg);
   partitioner_ = std::make_unique<ModuloPartitioner>(params_.num_nodes);
 
-  if (params_.kind == SystemKind::kCcKvs && params_.online_topk) {
-    EpochCoordinatorConfig ec;
-    ec.hot_set_size = params_.cache_capacity;
-    ec.requests_per_epoch = params_.topk_epoch_requests;
-    ec.sample_probability = params_.topk_sample_probability;
-    ec.seed = params_.seed ^ 0x70cull;
-    coordinator_ = std::make_unique<EpochCoordinator>(ec);
-  }
-
   for (int i = 0; i < params_.num_nodes; ++i) {
     nodes_.push_back(std::make_unique<RackNode>(this, static_cast<NodeId>(i)));
   }
@@ -1135,6 +1165,9 @@ const CoherenceEngine* RackSimulation::engine(NodeId node) const {
 const Partition* RackSimulation::partition(NodeId node, int kvs_thread) const {
   return nodes_[node]->partition(kvs_thread);
 }
+const HotSetManager* RackSimulation::hot_set_manager(NodeId node) const {
+  return nodes_[node]->hot_set_manager();
+}
 
 RackReport RackSimulation::Run(SimTime measure_ns, SimTime warmup_ns, bool drain) {
   if (!started_) {
@@ -1148,8 +1181,9 @@ RackReport RackSimulation::Run(SimTime measure_ns, SimTime warmup_ns, bool drain
   // Snapshot at the end of warmup.
   at_warmup_ = std::make_unique<Counters>();
   const int num_classes = static_cast<int>(TrafficClass::kNumClasses);
+  const HotSetManager* coord = nodes_[0]->hot_set_manager();
   at_warmup_->at = sim_.now();
-  at_warmup_->epochs = coordinator_ != nullptr ? coordinator_->epoch() : 0;
+  at_warmup_->epochs = coord != nullptr ? coord->epochs_closed() : 0;
   for (auto& node : nodes_) {
     at_warmup_->nodes.push_back(node->TakeSnapshot());
     node->ResetLatency();
@@ -1219,8 +1253,8 @@ RackReport RackSimulation::Run(SimTime measure_ns, SimTime warmup_ns, bool drain
   report.invalidations_sent = totals.invs_sent;
   report.acks_sent = totals.acks_sent;
   report.credit_updates_sent = totals.credit_updates_sent;
-  report.epochs = coordinator_ != nullptr ? coordinator_->epoch() - at_warmup_->epochs : 0;
-  report.hot_set_churn = coordinator_ != nullptr ? coordinator_->last_epoch_churn() : 0;
+  report.epochs = coord != nullptr ? coord->epochs_closed() - at_warmup_->epochs : 0;
+  report.hot_set_churn = coord != nullptr ? coord->last_epoch_churn() : 0;
 
   // Drain: stop issuing client operations and let everything in flight finish,
   // so recorded histories are complete and final state is quiescent.  The

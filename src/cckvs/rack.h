@@ -39,7 +39,7 @@
 #include "src/sim/simulator.h"
 #include "src/store/partition.h"
 #include "src/store/partitioner.h"
-#include "src/topk/epoch_coordinator.h"
+#include "src/topk/hot_set_manager.h"
 #include "src/verify/history.h"
 #include "src/workload/workload.h"
 
@@ -67,6 +67,9 @@ class RackSimulation {
   const SymmetricCache* cache(NodeId node) const;
   const CoherenceEngine* engine(NodeId node) const;
   const Partition* partition(NodeId node, int kvs_thread = 0) const;
+  // The hot-set subsystem of a node (nullptr unless online_topk); node 0 is
+  // the coordinator.
+  const HotSetManager* hot_set_manager(NodeId node) const;
   NodeId HomeOf(Key key) const;
   // kCentralCache routing: whether `key` belongs to the (static) hot set held
   // by the dedicated cache node.
@@ -80,7 +83,6 @@ class RackSimulation {
   std::unique_ptr<Network> net_;
   std::unique_ptr<Partitioner> partitioner_;
   std::vector<std::unique_ptr<class RackNode>> nodes_;
-  std::unique_ptr<EpochCoordinator> coordinator_;
   std::unordered_set<Key> hot_set_;  // kCentralCache routing filter
   History history_;
 

@@ -13,6 +13,7 @@
 
 #include "src/common/types.h"
 #include "src/rdma/serialize.h"
+#include "src/topk/hot_set_messages.h"
 
 namespace cckvs {
 
@@ -81,13 +82,8 @@ inline std::vector<RpcResponse> DeserializeResponses(const Buffer& in) {
   return resps;
 }
 
-// Cache-fill record (epoch hot-set installation).
-struct FillMsg {
-  Key key = 0;
-  Value value;
-  Timestamp ts{};
-};
-
+// Cache-fill batch (epoch hot-set installation; FillMsg lives in
+// src/topk/hot_set_messages.h with the rest of the epoch machinery types).
 inline void SerializeBatch(const std::vector<FillMsg>& fills, Buffer* out) {
   BufferWriter w(out);
   w.PutU16(static_cast<std::uint16_t>(fills.size()));
@@ -95,6 +91,7 @@ inline void SerializeBatch(const std::vector<FillMsg>& fills, Buffer* out) {
     w.PutU64(f.key);
     w.PutU32(f.ts.clock);
     w.PutU8(f.ts.writer);
+    w.PutU64(f.epoch);
     w.PutString(f.value);
   }
 }
@@ -107,28 +104,57 @@ inline std::vector<FillMsg> DeserializeFills(const Buffer& in) {
     f.key = r.GetU64();
     f.ts.clock = r.GetU32();
     f.ts.writer = static_cast<NodeId>(r.GetU8());
+    f.epoch = r.GetU64();
     f.value = r.GetString();
   }
   return fills;
 }
 
+// Control-QP messages share TrafficClass::kControl; a leading tag byte
+// demultiplexes them.
+constexpr std::uint8_t kCtrlTagHotSet = 1;
+constexpr std::uint8_t kCtrlTagEpochInstalled = 2;
+
+inline std::uint8_t PeekControlTag(const Buffer& in) {
+  CCKVS_CHECK(!in.empty());
+  return in[0];
+}
+
 // Hot-set announcement from the epoch coordinator.
-inline void SerializeHotSet(const std::vector<Key>& keys, Buffer* out) {
+inline void SerializeHotSet(const HotSetAnnounceMsg& msg, Buffer* out) {
   BufferWriter w(out);
-  w.PutU32(static_cast<std::uint32_t>(keys.size()));
-  for (const Key k : keys) {
+  w.PutU8(kCtrlTagHotSet);
+  w.PutU64(msg.epoch);
+  w.PutU32(static_cast<std::uint32_t>(msg.keys.size()));
+  for (const Key k : msg.keys) {
     w.PutU64(k);
   }
 }
 
-inline std::vector<Key> DeserializeHotSet(const Buffer& in) {
+inline HotSetAnnounceMsg DeserializeHotSet(const Buffer& in) {
   BufferReader r(in);
+  CCKVS_CHECK(r.GetU8() == kCtrlTagHotSet);
+  HotSetAnnounceMsg msg;
+  msg.epoch = r.GetU64();
   const std::uint32_t count = r.GetU32();
-  std::vector<Key> keys(count);
-  for (Key& k : keys) {
+  msg.keys.resize(count);
+  for (Key& k : msg.keys) {
     k = r.GetU64();
   }
-  return keys;
+  return msg;
+}
+
+// Install-barrier confirmation (the sender id travels as the message source).
+inline void SerializeEpochInstalled(const EpochInstalledMsg& msg, Buffer* out) {
+  BufferWriter w(out);
+  w.PutU8(kCtrlTagEpochInstalled);
+  w.PutU64(msg.epoch);
+}
+
+inline EpochInstalledMsg DeserializeEpochInstalled(const Buffer& in) {
+  BufferReader r(in);
+  CCKVS_CHECK(r.GetU8() == kCtrlTagEpochInstalled);
+  return EpochInstalledMsg{r.GetU64()};
 }
 
 }  // namespace cckvs

@@ -20,6 +20,24 @@ bool CoherenceEngine::Quiescent() const {
   return true;
 }
 
+bool CoherenceEngine::EvictionSafe(Key key) const {
+  if (auto it = parked_readers_.find(key);
+      it != parked_readers_.end() && !it->second.empty()) {
+    return false;
+  }
+  if (auto it = queued_writes_.find(key);
+      it != queued_writes_.end() && !it->second.empty()) {
+    return false;
+  }
+  return true;
+}
+
+void CoherenceEngine::OnEvicted(Key key) {
+  CCKVS_DCHECK(EvictionSafe(key));
+  parked_readers_.erase(key);
+  queued_writes_.erase(key);
+}
+
 void CoherenceEngine::WakeReaders(Key key) {
   auto it = parked_readers_.find(key);
   if (it == parked_readers_.end() || it->second.empty()) {
@@ -45,6 +63,19 @@ CoherenceEngine::WriteResult ScEngine::Write(Key key, const Value& value,
   CacheEntry* entry = cache_->Find(key);
   CCKVS_CHECK(entry != nullptr);
   ++stats_.writes;
+  if (entry->state() == CacheState::kFilling) {
+    // Writing over an unfilled entry would restart the key's Lamport clock at
+    // 1 and could reuse a timestamp from before the key left the hot set;
+    // wait for the fill, which carries the clock the shard reached.
+    QueueWrite(key, value, std::move(done));
+    return WriteResult::kPending;
+  }
+  ApplyWrite(key, entry, value, std::move(done));
+  return WriteResult::kCompleted;
+}
+
+void ScEngine::ApplyWrite(Key key, CacheEntry* entry, const Value& value,
+                          WriteDone done) {
   // Burckhardt-style: bump the Lamport clock, apply locally, broadcast, return.
   // Writes are asynchronous and reads that follow observe the new value at once.
   const Timestamp ts{entry->header.version + 1, self_};
@@ -59,7 +90,21 @@ CoherenceEngine::WriteResult ScEngine::Write(Key key, const Value& value,
     done();
   }
   WakeReaders(key);
-  return WriteResult::kCompleted;
+}
+
+void ScEngine::StartQueuedWrites(Key key) {
+  auto it = queued_writes_.find(key);
+  if (it == queued_writes_.end()) {
+    return;
+  }
+  while (!it->second.empty()) {
+    auto [value, done] = std::move(it->second.front());
+    it->second.pop_front();
+    CacheEntry* entry = cache_->Find(key);
+    CCKVS_CHECK(entry != nullptr);  // queued writes defer eviction
+    ApplyWrite(key, entry, value, std::move(done));
+  }
+  queued_writes_.erase(key);
 }
 
 CoherenceEngine::ReadResult ScEngine::Read(Key key, Value* value, Timestamp* ts,
@@ -97,6 +142,9 @@ void ScEngine::OnUpdate(NodeId from, const UpdateMsg& msg) {
     entry->dirty = true;
     ++stats_.updates_applied;
     WakeReaders(msg.key);
+    // A remote update can be what makes a kFilling entry readable (the fill
+    // itself will then be discarded as stale): release queued writes too.
+    StartQueuedWrites(msg.key);
   } else {
     ++stats_.updates_discarded;
   }
@@ -123,15 +171,31 @@ CoherenceEngine::WriteResult LinEngine::Write(Key key, const Value& value,
   CacheEntry* entry = cache_->Find(key);
   CCKVS_CHECK(entry != nullptr);
   ++stats_.writes;
-  if (entry->write_in_flight) {
+  if (entry->write_in_flight || entry->state() == CacheState::kFilling) {
     // One in-flight write per key per node; later local writes queue behind it
-    // (sessions on this node remain in session order).
-    ++stats_.local_writes_queued;
-    queued_writes_[key].emplace_back(value, std::move(done));
+    // (sessions on this node remain in session order).  Writes over unfilled
+    // entries queue too: starting from version 0 would restart the key's
+    // Lamport clock and could reuse a timestamp from a previous hot-set era.
+    QueueWrite(key, value, std::move(done));
     return WriteResult::kPending;
   }
   StartWrite(key, entry, value, std::move(done));
   return WriteResult::kPending;
+}
+
+void LinEngine::StartQueuedWrites(Key key) {
+  CacheEntry* entry = cache_->Find(key);
+  if (entry == nullptr || entry->write_in_flight ||
+      entry->state() == CacheState::kFilling) {
+    return;
+  }
+  auto it = queued_writes_.find(key);
+  if (it == queued_writes_.end() || it->second.empty()) {
+    return;
+  }
+  auto [value, done] = std::move(it->second.front());
+  it->second.pop_front();
+  StartWrite(key, entry, value, std::move(done));
 }
 
 void LinEngine::StartWrite(Key key, CacheEntry* entry, const Value& value,
@@ -191,13 +255,7 @@ void LinEngine::CompleteWrite(Key key, CacheEntry* entry) {
   if (entry->state() == CacheState::kValid) {
     WakeReaders(key);
   }
-  // Start the next queued local write, if any.
-  auto queue_it = queued_writes_.find(key);
-  if (queue_it != queued_writes_.end() && !queue_it->second.empty()) {
-    auto [value, next_done] = std::move(queue_it->second.front());
-    queue_it->second.pop_front();
-    StartWrite(key, entry, value, std::move(next_done));
-  }
+  StartQueuedWrites(key);  // next queued local write, if any
 }
 
 CoherenceEngine::ReadResult LinEngine::Read(Key key, Value* value, Timestamp* ts,
@@ -236,7 +294,13 @@ void LinEngine::OnInvalidate(NodeId from, const InvalidateMsg& msg) {
       // keeps collecting acks but will yield to the newer write on completion.
       entry->superseded = true;
     } else {
+      const bool was_filling = entry->state() == CacheState::kFilling;
       entry->set_state(CacheState::kInvalid);
+      if (was_filling) {
+        // The entry left kFilling without a fill: its clock is live now, so
+        // writes queued behind the fill may start (bumping past msg.ts).
+        StartQueuedWrites(msg.key);
+      }
     }
   } else {
     ++stats_.invalidations_stale;
@@ -296,6 +360,7 @@ void LinEngine::OnUpdate(NodeId from, const UpdateMsg& msg) {
     entry->dirty = true;
     ++stats_.updates_applied;
     WakeReaders(msg.key);
+    StartQueuedWrites(msg.key);  // the entry may have been kFilling until now
   } else {
     ++stats_.updates_discarded;
   }

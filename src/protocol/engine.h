@@ -114,8 +114,29 @@ class CoherenceEngine {
   virtual void OnInvalidate(NodeId from, const InvalidateMsg& msg) = 0;
   virtual void OnAck(NodeId from, const AckMsg& msg) = 0;
 
-  // The host filled a kFilling entry (epoch machinery); wakes blocked readers.
-  void OnFilled(Key key) { WakeReaders(key); }
+  // The host filled a kFilling entry (epoch machinery): wakes blocked readers
+  // and starts writes that queued while the entry awaited its value.
+  void OnFilled(Key key) {
+    WakeReaders(key);
+    StartQueuedWrites(key);
+  }
+
+  // --- hot-set membership hooks (epoch machinery) ---
+  //
+  // The engine owns per-key transient state (in-flight writes, queued local
+  // writes, parked readers) that an eviction would strand: a Lin write whose
+  // entry disappears can never collect its acks, so its session hangs and
+  // Quiescent() stays false forever.  Hosts must therefore ask EvictionSafe
+  // before removing a key from the hot set, defer the eviction when it says
+  // no, and call OnEvicted right after the entry is gone.
+
+  // True when `key` can leave the hot set without stranding protocol state:
+  // no parked readers, no queued local writes and (Lin) no in-flight write.
+  virtual bool EvictionSafe(Key key) const;
+
+  // Notification that `key` left the hot set (its cache entry is already
+  // gone).  Requires EvictionSafe(key); drops empty per-key bookkeeping.
+  virtual void OnEvicted(Key key);
 
   virtual ConsistencyModel model() const = 0;
   const EngineStats& stats() const { return stats_; }
@@ -132,6 +153,17 @@ class CoherenceEngine {
 
   // Delivers the entry's current value to every reader parked on `key`.
   void WakeReaders(Key key);
+
+  // Starts local writes queued behind a kFilling entry (or, Lin, behind an
+  // in-flight write) once the entry can accept them.  SC drains the whole
+  // queue inline; Lin starts the head and lets its completion chain the rest.
+  virtual void StartQueuedWrites(Key key) = 0;
+
+  // Queues (value, done) until StartQueuedWrites releases it.
+  void QueueWrite(Key key, const Value& value, WriteDone done) {
+    ++stats_.local_writes_queued;
+    queued_writes_[key].emplace_back(value, std::move(done));
+  }
 
   NodeId self_;
   int num_nodes_;
@@ -154,6 +186,10 @@ class ScEngine final : public CoherenceEngine {
   void OnAck(NodeId from, const AckMsg& msg) override;
 
   ConsistencyModel model() const override { return ConsistencyModel::kSc; }
+
+ private:
+  void StartQueuedWrites(Key key) override;
+  void ApplyWrite(Key key, CacheEntry* entry, const Value& value, WriteDone done);
 };
 
 // Per-key Linearizability (§5.2, "Lin Protocol").
@@ -173,7 +209,12 @@ class LinEngine final : public CoherenceEngine {
     return CoherenceEngine::Quiescent() && pending_done_.empty();
   }
 
+  bool EvictionSafe(Key key) const override {
+    return CoherenceEngine::EvictionSafe(key) && pending_done_.count(key) == 0;
+  }
+
  private:
+  void StartQueuedWrites(Key key) override;
   void StartWrite(Key key, CacheEntry* entry, const Value& value, WriteDone done);
   void CompleteWrite(Key key, CacheEntry* entry);
 

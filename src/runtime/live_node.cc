@@ -37,6 +37,19 @@ LiveNode::LiveNode(LiveRack* rack, NodeId id, WorkloadGenerator gen)
     engine_ = std::make_unique<ScEngine>(id, p.num_nodes, cache_.get(), ep_);
   }
 
+  if (p.online_topk) {
+    HotSetManagerConfig hc;
+    hc.self = id;
+    hc.num_nodes = p.num_nodes;
+    hc.coordinator = id == 0;
+    hc.epoch.hot_set_size = p.cache_capacity;
+    hc.epoch.requests_per_epoch = p.topk_epoch_requests;
+    hc.epoch.sample_probability = p.topk_sample_probability;
+    hc.epoch.seed = p.seed ^ 0x70cull;
+    hc.home_of = [rack](Key key) { return rack->HomeOf(key); };
+    hot_mgr_ = std::make_unique<HotSetManager>(hc, cache_.get(), engine_.get());
+  }
+
   sessions_.resize(static_cast<std::size_t>(p.window_per_node));
   for (std::size_t s = 0; s < sessions_.size(); ++s) {
     // Sessions are pinned to their node, as in the simulator.
@@ -50,6 +63,11 @@ void LiveNode::PrefillHotSet(const std::vector<Key>& hot_keys) {
   for (const Key key : hot_keys) {
     cache_->Fill(key, SynthesizeValue(key, rack_->params().workload.value_bytes),
                  Timestamp{0, 0});
+  }
+  if (hot_mgr_ != nullptr && hot_mgr_->coordinator()) {
+    // Keys the first epoch drops from the oracle set must settle like any
+    // published eviction before they are eligible for re-admission.
+    hot_mgr_->SeedPublished(hot_keys);
   }
 }
 
@@ -67,6 +85,8 @@ void LiveNode::Run(StopToken stop) {
     const std::size_t processed = PollInbound(kPollBatch);
     ep_->FlushPending();       // credits may have come back
     RetryParkedScWrites();
+    MaybeRetryDeferred();      // protocol progress may have released evictions
+    const bool gated_progress = RetryGatedOps();
 
     bool issued = false;
     if (!halted_) {
@@ -91,7 +111,7 @@ void LiveNode::Run(StopToken stop) {
       return;
     }
 
-    if (processed == 0 && !issued) {
+    if (processed == 0 && !issued && !gated_progress) {
       // Nothing to do right now.  Credit returns are silent (atomic adds), so
       // bound the sleep rather than waiting for a message that may not come.
       ep_->WaitForTraffic(std::chrono::microseconds(done_ ? 50 : 200));
@@ -111,10 +131,72 @@ std::size_t LiveNode::PollInbound(std::size_t max) {
       }
     } else if (const auto* inv = std::get_if<InvalidateMsg>(&msg.body)) {
       engine_->OnInvalidate(msg.src, *inv);  // acks unconditionally
+    } else if (const auto* ack = std::get_if<AckMsg>(&msg.body)) {
+      engine_->OnAck(msg.src, *ack);
+    } else if (const auto* hot = std::get_if<HotSetAnnounceMsg>(&msg.body)) {
+      if (hot_mgr_ != nullptr) {
+        HandleTransition(hot_mgr_->Apply(*hot));
+      }
+    } else if (const auto* fill = std::get_if<FillMsg>(&msg.body)) {
+      if (hot_mgr_ != nullptr) {
+        hot_mgr_->ApplyFill(*fill);
+      }
     } else {
-      engine_->OnAck(msg.src, std::get<AckMsg>(msg.body));
+      const auto& installed = std::get<EpochInstalledMsg>(msg.body);
+      if (hot_mgr_ != nullptr) {
+        LiftGates(hot_mgr_->OnPeerInstalled(msg.src, installed.epoch));
+      }
     }
   });
+}
+
+void LiveNode::HandleTransition(HotSetManager::Transition t) {
+  for (const auto& ev : t.home_writebacks) {
+    partition_->Apply(ev.key, ev.value, ev.ts);
+  }
+  for (const Key key : t.fill_duties) {
+    // Raise the shard residency gate and snapshot the fill atomically: any
+    // direct shard write lands entirely before the snapshot or is refused
+    // after it, so the cache era starts from an authoritative value.
+    const Partition::ResidentSnapshot snap = partition_->MarkCacheResident(key);
+    FillMsg fill{key, snap.value, snap.ts, hot_mgr_->target_epoch()};
+    hot_mgr_->ApplyFill(fill);
+    ep_->BroadcastFill(fill);
+  }
+  if (t.installed_advanced) {
+    ep_->BroadcastEpochInstalled(EpochInstalledMsg{t.installed_epoch});
+  }
+  LiftGates(t.ungated);
+}
+
+void LiveNode::LiftGates(const std::vector<Key>& keys) {
+  for (const Key key : keys) {
+    partition_->ClearCacheResident(key);
+  }
+}
+
+void LiveNode::MaybeRetryDeferred() {
+  if (hot_mgr_ != nullptr && hot_mgr_->HasDeferred()) {
+    HandleTransition(hot_mgr_->RetryDeferred());
+  }
+}
+
+bool LiveNode::RetryGatedOps() {
+  if (parked_gated_.empty()) {
+    return false;
+  }
+  retrying_gated_ = true;  // re-parks are not new gate encounters
+  bool progress = false;
+  const std::size_t n = parked_gated_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t slot = parked_gated_.front();
+    parked_gated_.pop_front();
+    const std::size_t parked_before = parked_gated_.size();
+    RouteOp(slot);  // may re-park at the back
+    progress |= parked_gated_.size() == parked_before;
+  }
+  retrying_gated_ = false;
+  return progress;
 }
 
 bool LiveNode::FillIdleSessions() {
@@ -138,7 +220,17 @@ void LiveNode::IssueOp(std::uint32_t slot) {
   sess.invoke = NowTs();
   sess.idle = false;
   --idle_sessions_;
+  if (hot_mgr_ != nullptr && hot_mgr_->coordinator() &&
+      hot_mgr_->Sample(sess.op.key)) {
+    const HotSetAnnounceMsg& ann = hot_mgr_->announcement();
+    ep_->BroadcastHotSet(ann);
+    HandleTransition(hot_mgr_->Apply(ann));
+  }
+  RouteOp(slot);
+}
 
+void LiveNode::RouteOp(std::uint32_t slot) {
+  Session& sess = sessions_[slot];
   const Key key = sess.op.key;
   if (cache_->Probe(key)) {
     if (sess.op.type == OpType::kGet) {
@@ -163,25 +255,54 @@ void LiveNode::IssueOp(std::uint32_t slot) {
     StartCacheWrite(slot);
     return;
   }
+  RouteMissOp(slot);
+}
 
+void LiveNode::RouteMissOp(std::uint32_t slot) {
   // Miss: the scale-out-ccNUMA data plane.  Access the home shard directly
   // through the CRCW seqlock path — a remote read is a lock-free copy-out, a
-  // remote write takes only the bucket's writer lock.
+  // remote write takes only the bucket's writer lock.  During an epoch
+  // transition the record's residency gate may be up (the hot set still owns
+  // the key somewhere in the rack); such ops park and retry until the key is
+  // either settled into the shard or admitted into this node's cache.
+  Session& sess = sessions_[slot];
+  const Key key = sess.op.key;
   Partition& home = rack_->PartitionOf(key);
   if (sess.op.type == OpType::kGet) {
     Value value;
     Timestamp ts;
-    const bool ok = home.Get(key, &value, &ts);
+    bool resident = false;
+    const bool ok = home.Get(key, &value, &ts, &resident);
     CCKVS_CHECK(ok);  // the synthesizer guarantees every GET succeeds
+    if (resident) {
+      if (!retrying_gated_) {
+        ++counters_.gate_retries;
+      }
+      parked_gated_.push_back(slot);
+      return;
+    }
     CompleteOp(slot, value, ts, false);
   } else {
-    const Timestamp ts = home.Put(key, sess.op.value);
+    Timestamp ts;
+    if (!home.TryPut(key, sess.op.value, &ts)) {
+      if (!retrying_gated_) {
+        ++counters_.gate_retries;
+      }
+      parked_gated_.push_back(slot);
+      return;
+    }
     CompleteOp(slot, sess.op.value, ts, false);
   }
 }
 
 void LiveNode::StartCacheWrite(std::uint32_t slot) {
   const Key key = sessions_[slot].op.key;
+  if (cache_->Find(key) == nullptr) {
+    // The key churned out of the hot set while this write sat parked on
+    // credits; take the miss path instead.
+    RouteMissOp(slot);
+    return;
+  }
   engine_->Write(key, sessions_[slot].op.value, [this, slot, key] {
     // For Lin, pending_ts still holds the completed write's timestamp; for SC
     // the entry timestamp is the write's own (done fires synchronously).

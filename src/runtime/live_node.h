@@ -29,6 +29,7 @@
 #include "src/runtime/stop.h"
 #include "src/runtime/transport.h"
 #include "src/store/partition.h"
+#include "src/topk/hot_set_manager.h"
 #include "src/verify/history.h"
 #include "src/workload/workload.h"
 
@@ -60,12 +61,14 @@ class LiveNode {
     std::uint64_t hit_completed = 0;
     std::uint64_t miss_completed = 0;
     std::uint64_t sc_credit_stalls = 0;
+    std::uint64_t gate_retries = 0;  // shard ops parked on the residency gate
   };
   const Counters& counters() const { return counters_; }
   const Histogram& latency() const { return latency_; }
   const std::vector<HistoryOp>& history_ops() const { return history_; }
   const SymmetricCache& cache() const { return *cache_; }
   const CoherenceEngine& engine() const { return *engine_; }
+  const HotSetManager* hot_set_manager() const { return hot_mgr_.get(); }
 
  private:
   struct Session {
@@ -78,14 +81,24 @@ class LiveNode {
   std::size_t PollInbound(std::size_t max);
   bool FillIdleSessions();
   void IssueOp(std::uint32_t slot);
+  // Routes the slot's already-generated op: cache path on a probe hit, else
+  // the direct-shard miss path (parking on the residency gate if it is up).
+  void RouteOp(std::uint32_t slot);
+  void RouteMissOp(std::uint32_t slot);
   void StartCacheWrite(std::uint32_t slot);
   void RetryParkedScWrites();
+  bool RetryGatedOps();
   void CompleteOp(std::uint32_t slot, const Value& read_value, Timestamp ts,
                   bool via_cache);
   bool AllSessionsIdle() const { return idle_sessions_ == sessions_.size(); }
   // Strictly increasing per-thread history clock (ties would make the
   // checkers' per-session invoke sort ambiguous).
   SimTime NowTs();
+
+  // --- hot-set subsystem (online_topk runs) ---
+  void HandleTransition(HotSetManager::Transition t);
+  void LiftGates(const std::vector<Key>& keys);
+  void MaybeRetryDeferred();
 
   LiveRack* rack_;
   NodeId id_;
@@ -94,11 +107,14 @@ class LiveNode {
   std::unique_ptr<Partition> partition_;
   std::unique_ptr<SymmetricCache> cache_;
   std::unique_ptr<CoherenceEngine> engine_;
+  std::unique_ptr<HotSetManager> hot_mgr_;  // online_topk runs only
   WorkloadGenerator gen_;
 
   std::vector<Session> sessions_;
   std::size_t idle_sessions_ = 0;
   std::deque<std::uint32_t> parked_sc_writes_;
+  std::deque<std::uint32_t> parked_gated_;  // ops waiting out an epoch barrier
+  bool retrying_gated_ = false;  // re-parks during RetryGatedOps are not counted
   std::uint64_t quota_ = 0;
   bool halted_ = false;  // stopped issuing new ops
   bool done_ = false;    // locally quiescent, reported to the rack

@@ -57,12 +57,21 @@ LiveRack::LiveRack(const LiveRackParams& params)
                                                 std::move(gens[static_cast<std::size_t>(i)])));
   }
 
-  // Symmetric prefill: every node caches the ground-truth hot set, so runs
-  // start in the steady state the paper measures.
-  WorkloadGenerator probe(params_.workload, /*writer_tag=*/0, /*seed=*/0);
-  const std::vector<Key> hot = probe.HottestKeys(params_.cache_capacity);
-  for (auto& node : nodes_) {
-    node->PrefillHotSet(hot);
+  if (params_.prefill_hot_set) {
+    // Symmetric prefill: every node caches the ground-truth (phase-0) hot
+    // set, so runs start in the steady state the paper measures.
+    WorkloadGenerator probe(params_.workload, /*writer_tag=*/0, /*seed=*/0);
+    const std::vector<Key> hot = probe.HottestKeys(params_.cache_capacity);
+    if (params_.online_topk) {
+      // Epochs will manage membership from here on: raise each key's shard
+      // residency gate now, exactly as an epoch admission would have.
+      for (const Key key : hot) {
+        PartitionOf(key).MarkCacheResident(key);
+      }
+    }
+    for (auto& node : nodes_) {
+      node->PrefillHotSet(hot);
+    }
   }
 }
 
@@ -99,6 +108,7 @@ LiveReport LiveRack::Run() {
     hit += c.hit_completed;
     miss += c.miss_completed;
     report.sc_credit_stalls += c.sc_credit_stalls;
+    report.gate_retries += c.gate_retries;
     latency.Merge(node.latency());
     AddEngineStats(node.engine().stats(), &report.engine_totals);
 
@@ -106,6 +116,7 @@ LiveReport LiveRack::Run() {
     report.channel_messages += ep.messages_received();
     report.channel_full_waits += ep.full_waits();
     report.credit_parks += ep.credit_parks();
+    report.epoch_msgs += ep.epoch_msgs_sent();
     report.rack.updates_sent += ep.updates_sent();
     report.rack.invalidations_sent += ep.invalidations_sent();
     report.rack.acks_sent += ep.acks_sent();
@@ -121,6 +132,11 @@ LiveReport LiveRack::Run() {
   report.rack.duration_s = wall_seconds;
   FillThroughput(report.completed, hit, miss, wall_seconds * 1e9, &report.rack);
   FillLatency(latency, &report.rack);
+
+  if (const HotSetManager* coord = nodes_[0]->hot_set_manager(); coord != nullptr) {
+    report.rack.epochs = coord->epochs_closed();
+    report.rack.hot_set_churn = coord->last_epoch_churn();
+  }
 
   if (params_.record_history) {
     for (auto& node : nodes_) {

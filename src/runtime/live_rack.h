@@ -65,6 +65,16 @@ struct LiveRackParams {
   int bcast_credits_per_peer = 64;
   int credit_update_batch = 8;
 
+  // Hot-set management.  With prefill_hot_set the run starts in the paper's
+  // steady state (oracle top-k installed everywhere); with online_topk node 0
+  // additionally runs the epoch coordinator and the rack adapts as popularity
+  // drifts (workload.drift_period_ops).  Both may be on: epochs then take
+  // over from the oracle seed.
+  bool prefill_hot_set = true;
+  bool online_topk = false;
+  std::uint64_t topk_epoch_requests = 200'000;
+  double topk_sample_probability = 0.05;
+
   bool record_history = false;  // sealed per-key history for the checkers
   std::uint64_t seed = 1;
 };

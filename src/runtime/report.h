@@ -31,6 +31,10 @@ struct LiveReport {
   std::uint64_t credit_parks = 0;        // broadcasts parked waiting for credits
   std::uint64_t sc_credit_stalls = 0;    // SC write-hits parked at the throttle
 
+  // Hot-set subsystem (online_topk runs; epochs/churn ride in rack.*).
+  std::uint64_t epoch_msgs = 0;    // announces + fills + install confirmations
+  std::uint64_t gate_retries = 0;  // misses parked on the shard residency gate
+
   // Store behaviour across all shards (CRCW seqlock path).
   std::uint64_t store_read_retries = 0;
   std::uint64_t slab_live_slots = 0;

@@ -50,22 +50,35 @@ void LiveTransport::Endpoint::SendCredited(NodeId to, WireMsg msg) {
   Deliver(to, std::move(msg));
 }
 
-void LiveTransport::Endpoint::BroadcastUpdate(const UpdateMsg& msg) {
+template <typename T>
+void LiveTransport::Endpoint::BroadcastCredited(const T& msg,
+                                                std::uint64_t* counter) {
   for (int j = 0; j < transport_->config_.num_nodes; ++j) {
     if (j != self_) {
       SendCredited(static_cast<NodeId>(j), WireMsg{self_, msg});
-      ++updates_sent_;
+      ++*counter;
     }
   }
 }
 
+void LiveTransport::Endpoint::BroadcastUpdate(const UpdateMsg& msg) {
+  BroadcastCredited(msg, &updates_sent_);
+}
+
 void LiveTransport::Endpoint::BroadcastInvalidate(const InvalidateMsg& msg) {
-  for (int j = 0; j < transport_->config_.num_nodes; ++j) {
-    if (j != self_) {
-      SendCredited(static_cast<NodeId>(j), WireMsg{self_, msg});
-      ++invalidations_sent_;
-    }
-  }
+  BroadcastCredited(msg, &invalidations_sent_);
+}
+
+void LiveTransport::Endpoint::BroadcastHotSet(const HotSetAnnounceMsg& msg) {
+  BroadcastCredited(msg, &epoch_msgs_sent_);
+}
+
+void LiveTransport::Endpoint::BroadcastFill(const FillMsg& msg) {
+  BroadcastCredited(msg, &epoch_msgs_sent_);
+}
+
+void LiveTransport::Endpoint::BroadcastEpochInstalled(const EpochInstalledMsg& msg) {
+  BroadcastCredited(msg, &epoch_msgs_sent_);
 }
 
 void LiveTransport::Endpoint::SendAck(NodeId to, const AckMsg& msg) {

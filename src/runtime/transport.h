@@ -40,13 +40,20 @@
 #include "src/protocol/messages.h"
 #include "src/rdma/flow_control.h"
 #include "src/runtime/channel.h"
+#include "src/topk/hot_set_messages.h"
 
 namespace cckvs {
 
-// One protocol message on the in-process fabric.
+// One message on the in-process fabric: the consistency protocol's three
+// classes plus the hot-set subsystem's epoch traffic.  Epoch messages ride
+// the same credited lanes as broadcasts, which both bounds them under the
+// §6.3 credit scheme and keeps them FIFO behind the updates a node sent
+// earlier — the ordering the install barrier depends on (hot_set_manager.h).
 struct WireMsg {
   NodeId src = 0;
-  std::variant<UpdateMsg, InvalidateMsg, AckMsg> body;
+  std::variant<UpdateMsg, InvalidateMsg, AckMsg, HotSetAnnounceMsg, FillMsg,
+               EpochInstalledMsg>
+      body;
 };
 
 class LiveTransport {
@@ -68,6 +75,11 @@ class LiveTransport {
     void BroadcastUpdate(const UpdateMsg& msg) override;
     void BroadcastInvalidate(const InvalidateMsg& msg) override;
     void SendAck(NodeId to, const AckMsg& msg) override;
+
+    // --- epoch traffic (owning node's thread only; credited) ---
+    void BroadcastHotSet(const HotSetAnnounceMsg& msg);
+    void BroadcastFill(const FillMsg& msg);
+    void BroadcastEpochInstalled(const EpochInstalledMsg& msg);
 
     // Drains up to `max` inbound messages, invoking handler(const WireMsg&)
     // for each, then performs receive-side credit accounting.  Owning node's
@@ -111,6 +123,7 @@ class LiveTransport {
     std::uint64_t invalidations_sent() const { return invalidations_sent_; }
     std::uint64_t acks_sent() const { return acks_sent_; }
     std::uint64_t credit_returns() const { return credit_returns_; }
+    std::uint64_t epoch_msgs_sent() const { return epoch_msgs_sent_; }
 
    private:
     friend class LiveTransport;
@@ -118,6 +131,8 @@ class LiveTransport {
     void SendCredited(NodeId to, WireMsg msg);
     void HarvestCredits(NodeId peer);
     void Deliver(NodeId to, WireMsg msg);
+    template <typename T>
+    void BroadcastCredited(const T& msg, std::uint64_t* counter);
 
     LiveTransport* transport_;
     NodeId self_;
@@ -134,6 +149,7 @@ class LiveTransport {
     std::uint64_t invalidations_sent_ = 0;
     std::uint64_t acks_sent_ = 0;
     std::uint64_t credit_returns_ = 0;
+    std::uint64_t epoch_msgs_sent_ = 0;
   };
 
   explicit LiveTransport(const Config& config);

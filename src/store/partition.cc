@@ -50,20 +50,22 @@ Partition::Bucket* Partition::OverflowBucket(std::uint32_t idx) const {
 }
 
 void Partition::WriteRecord(SlabAllocator::Ref ref, Key key, const Value& value,
-                            Timestamp ts) {
+                            Timestamp ts, std::uint8_t flags) {
   char* data = slab_.Data(ref);
   RecordHeader hdr;
   hdr.key = key;
   hdr.clock = ts.clock;
   hdr.len = static_cast<std::uint32_t>(value.size());
   hdr.writer = ts.writer;
+  hdr.flags = flags;
   // Relaxed atomic stores: lock-free readers may race with this copy and
   // observe a torn record, which their seqlock version check discards.
   RelaxedCopyToShared(data, &hdr, sizeof(hdr));
   RelaxedCopyToShared(data + sizeof(hdr), value.data(), value.size());
 }
 
-bool Partition::Get(Key key, Value* value, Timestamp* ts) const {
+bool Partition::Get(Key key, Value* value, Timestamp* ts,
+                    bool* cache_resident) const {
   gets_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t h = HashKey(key);
   const std::uint16_t tag = TagOf(h);
@@ -72,6 +74,7 @@ bool Partition::Get(Key key, Value* value, Timestamp* ts) const {
   while (true) {
     const std::uint32_t version = head.lock.ReadBegin();
     bool found = false;
+    bool found_resident = false;
     Timestamp found_ts{};
     const Bucket* bucket = &head;
     while (bucket != nullptr && !found) {
@@ -97,6 +100,7 @@ bool Partition::Get(Key key, Value* value, Timestamp* ts) const {
           RelaxedCopyFromShared(value->data(), data + sizeof(hdr), len);
         }
         found_ts = Timestamp{hdr.clock, hdr.writer};
+        found_resident = (hdr.flags & kFlagCacheResident) != 0;
         found = true;
         break;
       }
@@ -113,11 +117,17 @@ bool Partition::Get(Key key, Value* value, Timestamp* ts) const {
       if (ts != nullptr) {
         *ts = found_ts;
       }
+      if (cache_resident != nullptr) {
+        *cache_resident = found_resident;
+      }
       return true;
     }
     break;
   }
 
+  if (cache_resident != nullptr) {
+    *cache_resident = false;
+  }
   if (config_.synthesize) {
     synthesized_.fetch_add(1, std::memory_order_relaxed);
     if (value != nullptr) {
@@ -181,43 +191,73 @@ Partition::AtomicSlot* Partition::FreeSlot(Bucket& head) {
   }
 }
 
+void Partition::PutLocked(Bucket& head, Key key, std::uint16_t tag,
+                          const Value& value, Timestamp ts, std::uint8_t flags) {
+  AtomicSlot* found = FindSlot(head, key, tag);
+  if (found != nullptr) {
+    Slot slot = found->load();
+    const int needed_cls = SlabAllocator::ClassFor(sizeof(RecordHeader) + value.size());
+    if (needed_cls == slot.ref.cls) {
+      WriteRecord(slot.ref, key, value, ts, flags);
+    } else {
+      const SlabAllocator::Ref fresh =
+          slab_.Allocate(sizeof(RecordHeader) + value.size());
+      WriteRecord(fresh, key, value, ts, flags);
+      const SlabAllocator::Ref old = slot.ref;
+      slot.ref = fresh;
+      found->store(slot);
+      slab_.Free(old);
+    }
+    return;
+  }
+  AtomicSlot* free_slot = FreeSlot(head);
+  Slot slot;
+  slot.ref = slab_.Allocate(sizeof(RecordHeader) + value.size());
+  WriteRecord(slot.ref, key, value, ts, flags);
+  slot.tag = tag;
+  slot.used = 1;
+  free_slot->store(slot);
+  live_records_.fetch_add(1, std::memory_order_relaxed);
+}
+
 Timestamp Partition::Put(Key key, const Value& value) {
   puts_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t h = HashKey(key);
   const std::uint16_t tag = TagOf(h);
   Bucket& head = buckets_[h & bucket_mask_];
   SeqlockWriteGuard guard(head.lock);
-  AtomicSlot* found = FindSlot(head, key, tag);
-  Timestamp ts;
-  if (found != nullptr) {
-    Slot slot = found->load();
+  Timestamp ts{1, config_.node_id};
+  std::uint8_t flags = 0;
+  if (AtomicSlot* found = FindSlot(head, key, tag); found != nullptr) {
     RecordHeader hdr;
-    RelaxedCopyFromShared(&hdr, slab_.Data(slot.ref), sizeof(hdr));
+    RelaxedCopyFromShared(&hdr, slab_.Data(found->load().ref), sizeof(hdr));
     ts = Timestamp{hdr.clock + 1, config_.node_id};
-    const int needed_cls = SlabAllocator::ClassFor(sizeof(RecordHeader) + value.size());
-    if (needed_cls == slot.ref.cls) {
-      WriteRecord(slot.ref, key, value, ts);
-    } else {
-      const SlabAllocator::Ref fresh =
-          slab_.Allocate(sizeof(RecordHeader) + value.size());
-      WriteRecord(fresh, key, value, ts);
-      const SlabAllocator::Ref old = slot.ref;
-      slot.ref = fresh;
-      found->store(slot);
-      slab_.Free(old);
-    }
-    return ts;
+    flags = hdr.flags;
   }
-  ts = Timestamp{1, config_.node_id};
-  AtomicSlot* free_slot = FreeSlot(head);
-  Slot slot;
-  slot.ref = slab_.Allocate(sizeof(RecordHeader) + value.size());
-  WriteRecord(slot.ref, key, value, ts);
-  slot.tag = tag;
-  slot.used = 1;
-  free_slot->store(slot);
-  live_records_.fetch_add(1, std::memory_order_relaxed);
+  PutLocked(head, key, tag, value, ts, flags);
   return ts;
+}
+
+bool Partition::TryPut(Key key, const Value& value, Timestamp* ts) {
+  const std::uint64_t h = HashKey(key);
+  const std::uint16_t tag = TagOf(h);
+  Bucket& head = buckets_[h & bucket_mask_];
+  SeqlockWriteGuard guard(head.lock);
+  Timestamp fresh{1, config_.node_id};
+  if (AtomicSlot* found = FindSlot(head, key, tag); found != nullptr) {
+    RecordHeader hdr;
+    RelaxedCopyFromShared(&hdr, slab_.Data(found->load().ref), sizeof(hdr));
+    if ((hdr.flags & kFlagCacheResident) != 0) {
+      return false;  // the hot set owns this key; caller retries the gate
+    }
+    fresh = Timestamp{hdr.clock + 1, config_.node_id};
+  }
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  PutLocked(head, key, tag, value, fresh, 0);
+  if (ts != nullptr) {
+    *ts = fresh;
+  }
+  return true;
 }
 
 bool Partition::Apply(Key key, const Value& value, Timestamp ts) {
@@ -226,38 +266,58 @@ bool Partition::Apply(Key key, const Value& value, Timestamp ts) {
   const std::uint16_t tag = TagOf(h);
   Bucket& head = buckets_[h & bucket_mask_];
   SeqlockWriteGuard guard(head.lock);
-  AtomicSlot* found = FindSlot(head, key, tag);
-  if (found != nullptr) {
-    Slot slot = found->load();
+  std::uint8_t flags = 0;
+  if (AtomicSlot* found = FindSlot(head, key, tag); found != nullptr) {
     RecordHeader hdr;
-    RelaxedCopyFromShared(&hdr, slab_.Data(slot.ref), sizeof(hdr));
+    RelaxedCopyFromShared(&hdr, slab_.Data(found->load().ref), sizeof(hdr));
     if (Timestamp{hdr.clock, hdr.writer} >= ts) {
       stale_applies_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
-    const int needed_cls = SlabAllocator::ClassFor(sizeof(RecordHeader) + value.size());
-    if (needed_cls == slot.ref.cls) {
-      WriteRecord(slot.ref, key, value, ts);
-    } else {
-      const SlabAllocator::Ref fresh =
-          slab_.Allocate(sizeof(RecordHeader) + value.size());
-      WriteRecord(fresh, key, value, ts);
-      const SlabAllocator::Ref old = slot.ref;
-      slot.ref = fresh;
-      found->store(slot);
-      slab_.Free(old);
-    }
-    return true;
+    flags = hdr.flags;  // applies bypass the gate but must not drop it
   }
-  AtomicSlot* free_slot = FreeSlot(head);
-  Slot slot;
-  slot.ref = slab_.Allocate(sizeof(RecordHeader) + value.size());
-  WriteRecord(slot.ref, key, value, ts);
-  slot.tag = tag;
-  slot.used = 1;
-  free_slot->store(slot);
-  live_records_.fetch_add(1, std::memory_order_relaxed);
+  PutLocked(head, key, tag, value, ts, flags);
   return true;
+}
+
+Partition::ResidentSnapshot Partition::MarkCacheResident(Key key) {
+  const std::uint64_t h = HashKey(key);
+  const std::uint16_t tag = TagOf(h);
+  Bucket& head = buckets_[h & bucket_mask_];
+  SeqlockWriteGuard guard(head.lock);
+  ResidentSnapshot snap;
+  if (AtomicSlot* found = FindSlot(head, key, tag); found != nullptr) {
+    const char* data = slab_.Data(found->load().ref);
+    RecordHeader hdr;
+    RelaxedCopyFromShared(&hdr, data, sizeof(hdr));
+    snap.value.resize(hdr.len);
+    RelaxedCopyFromShared(snap.value.data(), data + sizeof(hdr), hdr.len);
+    snap.ts = Timestamp{hdr.clock, hdr.writer};
+    hdr.flags |= kFlagCacheResident;
+    RelaxedCopyToShared(slab_.Data(found->load().ref), &hdr, sizeof(hdr));
+    return snap;
+  }
+  // Never-written key entering the hot set: materialize its synthetic value so
+  // the flag has a record to live on.
+  CCKVS_CHECK(config_.synthesize != nullptr);
+  snap.value = config_.synthesize(key);
+  snap.ts = Timestamp{};
+  PutLocked(head, key, tag, snap.value, snap.ts, kFlagCacheResident);
+  return snap;
+}
+
+void Partition::ClearCacheResident(Key key) {
+  const std::uint64_t h = HashKey(key);
+  const std::uint16_t tag = TagOf(h);
+  Bucket& head = buckets_[h & bucket_mask_];
+  SeqlockWriteGuard guard(head.lock);
+  AtomicSlot* found = FindSlot(head, key, tag);
+  CCKVS_CHECK(found != nullptr);  // MarkCacheResident materialized the record
+  char* data = slab_.Data(found->load().ref);
+  RecordHeader hdr;
+  RelaxedCopyFromShared(&hdr, data, sizeof(hdr));
+  hdr.flags &= static_cast<std::uint8_t>(~kFlagCacheResident);
+  RelaxedCopyToShared(data, &hdr, sizeof(hdr));
 }
 
 bool Partition::Erase(Key key) {

@@ -61,17 +61,47 @@ class Partition {
 
   // Lock-free read.  On hit copies the value (and timestamp if requested) and
   // returns true.  On miss: synthesizes if configured, else returns false.
-  bool Get(Key key, Value* value, Timestamp* ts = nullptr) const;
+  // When `cache_resident` is non-null it receives the record's residency flag
+  // (read inside the same seqlock snapshot as the value): true means the hot
+  // set owns this key and the shard copy may be stale — direct readers must
+  // retry until the epoch machinery clears the flag (see MarkCacheResident).
+  bool Get(Key key, Value* value, Timestamp* ts = nullptr,
+           bool* cache_resident = nullptr) const;
 
   // Plain client write at the home node: monotonically bumps the record's
   // Lamport clock and stamps the configured node id.  Returns the timestamp the
   // write got.
   Timestamp Put(Key key, const Value& value);
 
+  // Gated variant of Put for direct cross-thread writers: refuses (returns
+  // false) when the record is cache-resident, so a shard write can never race
+  // an authoritative cached copy.  On success *ts receives the timestamp.
+  bool TryPut(Key key, const Value& value, Timestamp* ts);
+
   // Timestamped apply, used by write-back flushes from the symmetric cache and
   // by recovery paths: installs (value, ts) iff ts is newer than the stored
-  // timestamp (or the key is absent).  Returns true when applied.
+  // timestamp (or the key is absent).  Returns true when applied.  Applies are
+  // protocol traffic: they bypass the residency gate and preserve the flag.
   bool Apply(Key key, const Value& value, Timestamp ts);
+
+  // --- hot-set residency gate (home node only) ---
+  //
+  // The live runtime's miss path reads and writes shards directly, so during
+  // an epoch transition a shard copy can transiently disagree with the caches.
+  // The home node brackets a key's cached lifetime with these two calls:
+  // MarkCacheResident when the key enters the hot set (atomically, under the
+  // bucket's writer lock, flag the record and snapshot the fill value — any
+  // concurrent TryPut lands either entirely before the snapshot or is refused
+  // after it), and ClearCacheResident when the key's eviction has settled
+  // rack-wide (every write-back and in-flight update has been applied).
+
+  struct ResidentSnapshot {
+    Value value;
+    Timestamp ts{};
+  };
+  // Materializes the record if absent (via the synthesizer).
+  ResidentSnapshot MarkCacheResident(Key key);
+  void ClearCacheResident(Key key);
 
   // Removes the key.  Returns true if it was present.
   bool Erase(Key key);
@@ -132,7 +162,9 @@ class Partition {
     std::uint32_t clock;
     std::uint32_t len;
     NodeId writer;
+    std::uint8_t flags;  // kFlagCacheResident
   };
+  static constexpr std::uint8_t kFlagCacheResident = 0x1;
 
   Bucket& HomeBucket(Key key) const;
   std::uint16_t TagOf(std::uint64_t hash) const;
@@ -143,7 +175,12 @@ class Partition {
   // Finds a free slot in the chain, extending it if needed.
   AtomicSlot* FreeSlot(Bucket& head);
 
-  void WriteRecord(SlabAllocator::Ref ref, Key key, const Value& value, Timestamp ts);
+  void WriteRecord(SlabAllocator::Ref ref, Key key, const Value& value, Timestamp ts,
+                   std::uint8_t flags = 0);
+  // Shared put body: writes (value, ts) into the slot found for `key`, or
+  // materializes a fresh record.  Caller holds the bucket writer lock.
+  void PutLocked(Bucket& head, Key key, std::uint16_t tag, const Value& value,
+                 Timestamp ts, std::uint8_t flags);
 
   PartitionConfig config_;
   std::size_t bucket_mask_;

@@ -1,0 +1,46 @@
+// Epoch-machinery message types (§4), shared by every host of the hot-set
+// subsystem: the simulated rack serializes them onto its control QP, the live
+// runtime carries them as variants on its in-process channels, and unit tests
+// construct them directly.
+//
+// All three ride *credited* transport lanes so the flow-control bounds of
+// §6.3 keep holding, and — critically — so they stay FIFO behind the updates
+// a node sent before announcing epoch progress (the install barrier the
+// shard-residency gate relies on; see hot_set_manager.h).
+
+#ifndef CCKVS_TOPK_HOT_SET_MESSAGES_H_
+#define CCKVS_TOPK_HOT_SET_MESSAGES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace cckvs {
+
+// Coordinator -> everyone: the hot set every symmetric cache should hold from
+// `epoch` on.  Keys are in descending popularity.
+struct HotSetAnnounceMsg {
+  std::uint64_t epoch = 0;
+  std::vector<Key> keys;
+};
+
+// Home node -> everyone: the value of a key admitted in `epoch`, snapshotted
+// from its home shard at admission.
+struct FillMsg {
+  Key key = 0;
+  Value value;
+  Timestamp ts{};
+  std::uint64_t epoch = 0;
+};
+
+// Everyone -> everyone: this node finished installing `epoch` (every eviction
+// performed, none deferred).  Once all nodes confirm an epoch, the keys it
+// evicted are settled and their home shards become authoritative again.
+struct EpochInstalledMsg {
+  std::uint64_t epoch = 0;
+};
+
+}  // namespace cckvs
+
+#endif  // CCKVS_TOPK_HOT_SET_MESSAGES_H_

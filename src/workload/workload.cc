@@ -65,15 +65,24 @@ WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& config,
   CCKVS_CHECK_LE(config.write_ratio, 1.0);
 }
 
-Key WorkloadGenerator::KeyOfRank(std::uint64_t rank0) const {
+Key WorkloadGenerator::KeyOfRankAt(std::uint64_t rank0, std::uint64_t phase) const {
+  if (config_.drift_period_ops != 0 && config_.drift_rank_shift != 0) {
+    // Rotate ranks through the (bijective) scrambler domain: each phase the
+    // top ranks land on keys that were drift_rank_shift ranks deeper before.
+    const auto shift = static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>(phase) * config_.drift_rank_shift %
+        config_.keyspace);
+    rank0 = (rank0 + shift) % config_.keyspace;
+  }
   return scrambler_.RankToKey(rank0);
 }
 
-std::vector<Key> WorkloadGenerator::HottestKeys(std::size_t k) const {
+std::vector<Key> WorkloadGenerator::HottestKeysAt(std::size_t k,
+                                                 std::uint64_t phase) const {
   std::vector<Key> keys;
   keys.reserve(k);
   for (std::uint64_t r = 0; r < k && r < config_.keyspace; ++r) {
-    keys.push_back(KeyOfRank(r));
+    keys.push_back(KeyOfRankAt(r, phase));
   }
   return keys;
 }

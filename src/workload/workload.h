@@ -24,6 +24,17 @@ struct WorkloadConfig {
   double write_ratio = 0.0;  // fraction of PUTs
   std::uint32_t value_bytes = 40;
   std::uint64_t scramble_seed = 0xcc5eed;  // shared by all generators of a run
+
+  // Non-stationary popularity (drift).  Every drift_period_ops operations a
+  // generator advances one drift phase: the rank-to-key mapping rotates by
+  // drift_rank_shift ranks, so the keys holding the top ranks change while the
+  // Zipf shape stays fixed.  Consecutive phases share max(0, k - shift) of
+  // their k hottest keys, making the shift size a churn knob.  Phases are a
+  // pure function of a generator's op count, so runs stay deterministic per
+  // seed; generators on different nodes drift at their own (closely aligned)
+  // paces, as real traffic shifts would reach frontends.  0 = stationary.
+  std::uint64_t drift_period_ops = 0;
+  std::uint64_t drift_rank_shift = 0;
 };
 
 struct Op {
@@ -60,13 +71,24 @@ class WorkloadGenerator {
 
   Op Next();
 
-  // The key id of popularity rank `rank0` (0-based).  All generators of a run
-  // agree (same scramble seed).
-  Key KeyOfRank(std::uint64_t rank0) const;
+  // The key id of popularity rank `rank0` (0-based) at this generator's
+  // current drift phase.  All generators of a run agree (same scramble seed)
+  // when their phases agree.
+  Key KeyOfRank(std::uint64_t rank0) const { return KeyOfRankAt(rank0, drift_phase()); }
+  Key KeyOfRankAt(std::uint64_t rank0, std::uint64_t phase) const;
 
-  // The k globally hottest key ids, descending popularity: the ground-truth hot
-  // set used to pre-fill symmetric caches for steady-state experiments.
-  std::vector<Key> HottestKeys(std::size_t k) const;
+  // The k hottest key ids at the current drift phase (descending popularity):
+  // the ground-truth hot set used to pre-fill symmetric caches for
+  // steady-state experiments.  Phase 0 is the pre-drift oracle.
+  std::vector<Key> HottestKeys(std::size_t k) const {
+    return HottestKeysAt(k, drift_phase());
+  }
+  std::vector<Key> HottestKeysAt(std::size_t k, std::uint64_t phase) const;
+
+  // Number of popularity shifts this generator has gone through.
+  std::uint64_t drift_phase() const {
+    return config_.drift_period_ops == 0 ? 0 : ops_ / config_.drift_period_ops;
+  }
 
   const WorkloadConfig& config() const { return config_; }
   std::uint64_t ops_generated() const { return ops_; }

@@ -82,6 +82,24 @@ TEST(DeterminismTest, OnlineTopkIsDeterministicToo) {
   ExpectIdentical(RunOnce(p), RunOnce(p));
 }
 
+TEST(DeterminismTest, DriftingEpochsAreDeterministic) {
+  // The full adaptive path — drifting popularity, epoch churn, deferred
+  // evictions, the install barrier — must stay a pure function of the seed.
+  for (const ConsistencyModel model :
+       {ConsistencyModel::kSc, ConsistencyModel::kLin}) {
+    RackParams p = SmallRack(SystemKind::kCcKvs, model);
+    p.workload.keyspace = 10'000;
+    p.workload.drift_period_ops = 5'000;
+    p.workload.drift_rank_shift = 100;
+    p.cache_capacity = 200;
+    p.prefill_hot_set = false;
+    p.online_topk = true;
+    p.topk_epoch_requests = 5'000;
+    p.topk_sample_probability = 1.0;
+    ExpectIdentical(RunOnce(p), RunOnce(p));
+  }
+}
+
 // Different seeds must actually change the run (guards against the test
 // passing vacuously because reports are all zero / constant).
 TEST(DeterminismTest, SeedsMatter) {

@@ -1,0 +1,237 @@
+// Unit tests for the hot-set subsystem (topk::HotSetManager): protocol-safe
+// epoch transitions, deferred evictions, the fill stash, the install barrier
+// and the coordinator's unsettled-key filter.  The manager is driven directly
+// with a real cache and engine; outgoing protocol messages land in a
+// recording sink, as in protocol_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/cache/symmetric_cache.h"
+#include "src/protocol/engine.h"
+#include "src/topk/hot_set_manager.h"
+
+namespace cckvs {
+namespace {
+
+// Collects broadcasts; the test feeds acks back by hand.
+class RecordingSink : public MessageSink {
+ public:
+  void BroadcastUpdate(const UpdateMsg& msg) override { updates.push_back(msg); }
+  void BroadcastInvalidate(const InvalidateMsg& msg) override {
+    invalidations.push_back(msg);
+  }
+  void SendAck(NodeId to, const AckMsg& msg) override {
+    (void)to;
+    acks.push_back(msg);
+  }
+
+  std::vector<UpdateMsg> updates;
+  std::vector<InvalidateMsg> invalidations;
+  std::vector<AckMsg> acks;
+};
+
+// Two-"node" world from node 0's perspective: keys with even ids home at 0.
+constexpr int kNodes = 2;
+NodeId HomeOf(Key key) { return static_cast<NodeId>(key % kNodes); }
+
+struct Harness {
+  explicit Harness(ConsistencyModel model, bool coordinator = false,
+                   std::uint64_t requests_per_epoch = 4,
+                   std::size_t hot_set_size = 8) {
+    cache = std::make_unique<SymmetricCache>(hot_set_size);
+    if (model == ConsistencyModel::kLin) {
+      engine = std::make_unique<LinEngine>(0, kNodes, cache.get(), &sink);
+    } else {
+      engine = std::make_unique<ScEngine>(0, kNodes, cache.get(), &sink);
+    }
+    HotSetManagerConfig hc;
+    hc.self = 0;
+    hc.num_nodes = kNodes;
+    hc.coordinator = coordinator;
+    hc.epoch.hot_set_size = hot_set_size;
+    hc.epoch.requests_per_epoch = requests_per_epoch;
+    hc.epoch.sample_probability = 1.0;
+    hc.home_of = HomeOf;
+    mgr = std::make_unique<HotSetManager>(hc, cache.get(), engine.get());
+  }
+
+  void Seed(std::initializer_list<Key> keys) {
+    cache->InstallHotSet(std::vector<Key>(keys));
+    for (const Key k : keys) {
+      cache->Fill(k, "seed", Timestamp{1, 1});
+    }
+  }
+
+  RecordingSink sink;
+  std::unique_ptr<SymmetricCache> cache;
+  std::unique_ptr<CoherenceEngine> engine;
+  std::unique_ptr<HotSetManager> mgr;
+};
+
+TEST(HotSetManager, ApplySplitsEvictionsAdmissionsAndDuties) {
+  Harness h(ConsistencyModel::kSc);
+  h.Seed({2, 3, 4});
+  h.cache->Find(2)->dirty = true;  // pretend a hot write landed
+
+  const auto t = h.mgr->Apply(HotSetAnnounceMsg{1, {4, 6, 7}});
+  // Key 2: evicted, dirty, homed here -> write-back + gate; key 3: evicted,
+  // clean, homed at the peer -> dropped.
+  ASSERT_EQ(t.home_writebacks.size(), 1u);
+  EXPECT_EQ(t.home_writebacks[0].key, 2u);
+  EXPECT_TRUE(h.mgr->ShardGated(2));
+  EXPECT_FALSE(h.mgr->ShardGated(3));
+  EXPECT_EQ(h.cache->Find(2), nullptr);
+  EXPECT_EQ(h.cache->Find(3), nullptr);
+  // Key 4 survives with its value; 6 and 7 enter kFilling; only 6 homes here.
+  EXPECT_EQ(h.cache->Find(4)->state(), CacheState::kValid);
+  EXPECT_EQ(h.cache->Find(6)->state(), CacheState::kFilling);
+  EXPECT_EQ(t.fill_duties, std::vector<Key>{6});
+  // Nothing deferred: the install completed.
+  EXPECT_TRUE(t.installed_advanced);
+  EXPECT_EQ(t.installed_epoch, 1u);
+  EXPECT_EQ(h.mgr->installed_epoch(), 1u);
+}
+
+TEST(HotSetManager, BarrierLiftsGateOnlyAfterAllPeersInstall) {
+  Harness h(ConsistencyModel::kSc);
+  h.Seed({2});
+  auto t = h.mgr->Apply(HotSetAnnounceMsg{1, {3}});
+  EXPECT_TRUE(t.installed_advanced);
+  EXPECT_TRUE(h.mgr->ShardGated(2));
+  EXPECT_TRUE(t.ungated.empty());  // peer has not confirmed epoch 1
+
+  const auto ungated = h.mgr->OnPeerInstalled(1, 1);
+  EXPECT_EQ(ungated, std::vector<Key>{2});
+  EXPECT_FALSE(h.mgr->ShardGated(2));
+}
+
+TEST(HotSetManager, LinWriteInFlightDefersEviction) {
+  Harness h(ConsistencyModel::kLin);
+  h.Seed({2});
+  h.engine->Write(2, "w", nullptr);  // invalidations out, acks pending
+  ASSERT_EQ(h.sink.invalidations.size(), 1u);
+
+  auto t = h.mgr->Apply(HotSetAnnounceMsg{1, {4}});
+  EXPECT_TRUE(h.mgr->HasDeferred());
+  EXPECT_FALSE(t.installed_advanced);  // the epoch is not installed yet
+  EXPECT_NE(h.cache->Find(2), nullptr);
+  EXPECT_FALSE(h.mgr->ShardGated(2));  // not evicted, so not pending a clear
+
+  // The ack completes the write; the deferred eviction can now go through.
+  h.engine->OnAck(1, AckMsg{2, h.sink.invalidations[0].ts});
+  t = h.mgr->RetryDeferred();
+  EXPECT_FALSE(h.mgr->HasDeferred());
+  EXPECT_TRUE(t.installed_advanced);
+  ASSERT_EQ(t.home_writebacks.size(), 1u);  // the completed write is dirty
+  EXPECT_EQ(t.home_writebacks[0].key, 2u);
+  EXPECT_TRUE(h.mgr->ShardGated(2));
+  EXPECT_EQ(h.cache->Find(2), nullptr);
+}
+
+TEST(HotSetManager, ParkedReaderDefersEvictionUntilFill) {
+  Harness h(ConsistencyModel::kSc);
+  auto t0 = h.mgr->Apply(HotSetAnnounceMsg{1, {3}});  // admitted, kFilling
+  (void)t0;
+  bool read_done = false;
+  Value read_value;
+  h.engine->Read(3, nullptr, nullptr, [&](const Value& v, Timestamp) {
+    read_done = true;
+    read_value = v;
+  });
+  EXPECT_FALSE(read_done);  // parked on the unfilled entry
+
+  auto t = h.mgr->Apply(HotSetAnnounceMsg{2, {5}});  // epoch churns 3 out
+  EXPECT_TRUE(h.mgr->HasDeferred());
+  EXPECT_FALSE(t.installed_advanced);
+
+  // The fill (sent when the home installed epoch 1) wakes the reader...
+  h.mgr->ApplyFill(FillMsg{3, "filled", Timestamp{2, 1}, 1});
+  EXPECT_TRUE(read_done);
+  EXPECT_EQ(read_value, "filled");
+  // ...and the deferred eviction drains.
+  t = h.mgr->RetryDeferred();
+  EXPECT_FALSE(h.mgr->HasDeferred());
+  EXPECT_TRUE(t.installed_advanced);
+  EXPECT_EQ(h.cache->Find(3), nullptr);
+}
+
+TEST(HotSetManager, FillThatBeatsItsAnnounceIsStashed) {
+  Harness h(ConsistencyModel::kSc);
+  // Epoch 1's announce has not arrived, but the home's fill has.
+  EXPECT_FALSE(h.mgr->ApplyFill(FillMsg{5, "early", Timestamp{3, 1}, 1}));
+  EXPECT_EQ(h.cache->Find(5), nullptr);
+
+  h.mgr->Apply(HotSetAnnounceMsg{1, {5}});
+  ASSERT_NE(h.cache->Find(5), nullptr);
+  EXPECT_EQ(h.cache->Find(5)->state(), CacheState::kValid);
+  EXPECT_EQ(h.cache->Find(5)->value, "early");
+}
+
+TEST(HotSetManager, StaleFillIsDropped) {
+  Harness h(ConsistencyModel::kSc);
+  h.mgr->Apply(HotSetAnnounceMsg{2, {7}});
+  // A fill from epoch 1 for a key that is no longer (or never was) targeted.
+  EXPECT_FALSE(h.mgr->ApplyFill(FillMsg{9, "stale", Timestamp{1, 1}, 1}));
+  h.mgr->Apply(HotSetAnnounceMsg{3, {9}});
+  // The stale fill must not have survived to satisfy epoch 3's admission.
+  EXPECT_EQ(h.cache->Find(9)->state(), CacheState::kFilling);
+}
+
+TEST(HotSetManager, CoordinatorWithholdsUnsettledReadmissions) {
+  // hot_set_size 1, epochs every 2 requests: publications are predictable.
+  Harness h(ConsistencyModel::kSc, /*coordinator=*/true,
+            /*requests_per_epoch=*/2, /*hot_set_size=*/1);
+  EXPECT_FALSE(h.mgr->Sample(1));
+  ASSERT_TRUE(h.mgr->Sample(1));  // epoch 1: {1}
+  EXPECT_EQ(h.mgr->announcement().keys, std::vector<Key>{1});
+  h.mgr->Apply(h.mgr->announcement());
+
+  h.mgr->Sample(2);
+  ASSERT_TRUE(h.mgr->Sample(2));  // epoch 2: {2}, key 1 dropped
+  EXPECT_EQ(h.mgr->announcement().keys, std::vector<Key>{2});
+  // Do NOT apply epoch 2 yet: key 1's eviction is unsettled rack-wide.
+
+  h.mgr->Sample(1);
+  ASSERT_TRUE(h.mgr->Sample(1));  // epoch 3: key 1 is hottest again...
+  for (const Key k : h.mgr->announcement().keys) {
+    EXPECT_NE(k, 1u) << "unsettled key must not be re-admitted";
+  }
+
+  // Settle: this node installs epoch 3 (evicting 2...), the peer confirms.
+  h.mgr->Apply(h.mgr->announcement());
+  h.mgr->OnPeerInstalled(1, h.mgr->announcement().epoch);
+  h.mgr->Sample(1);
+  ASSERT_TRUE(h.mgr->Sample(1));  // epoch 4: key 1 is eligible again
+  EXPECT_EQ(h.mgr->announcement().keys, std::vector<Key>{1});
+}
+
+TEST(HotSetManager, ReadmissionCancelsPendingGateClear) {
+  // Key 2 (homed here) is evicted in epoch 1 and re-admitted in epoch 2
+  // before the epoch-1 barrier completes.  The straggling install
+  // confirmation must NOT clear the gate: the new cached era owns it.
+  Harness h(ConsistencyModel::kSc);
+  h.Seed({2});
+  h.mgr->Apply(HotSetAnnounceMsg{1, {4}});
+  EXPECT_TRUE(h.mgr->ShardGated(2));
+  const auto t = h.mgr->Apply(HotSetAnnounceMsg{2, {2, 4}});
+  EXPECT_EQ(t.fill_duties, std::vector<Key>{2});
+  EXPECT_FALSE(h.mgr->ShardGated(2));  // no stale pending clear remains
+
+  const auto ungated = h.mgr->OnPeerInstalled(1, 1);  // epoch-1 straggler
+  EXPECT_TRUE(ungated.empty()) << "the re-admitted key's gate must stay up";
+}
+
+TEST(HotSetManager, StaleAnnounceIsIgnored) {
+  Harness h(ConsistencyModel::kSc);
+  h.mgr->Apply(HotSetAnnounceMsg{2, {4}});
+  const auto t = h.mgr->Apply(HotSetAnnounceMsg{1, {6}});
+  EXPECT_TRUE(t.fill_duties.empty());
+  EXPECT_EQ(h.cache->Find(6), nullptr);
+  EXPECT_NE(h.cache->Find(4), nullptr);
+}
+
+}  // namespace
+}  // namespace cckvs

@@ -121,6 +121,55 @@ TEST(LiveRackTest, HotContentionBothModels) {
   }
 }
 
+// Adaptive epochs under a drifting workload: node 0 learns the hot set
+// online, every epoch transition churns cache membership while writes are in
+// flight, and the workload keeps shifting popularity so transitions never
+// stop.  This exercises the whole hot-set subsystem — coordinator sampling,
+// announce/fill/install-barrier traffic on the credited channels, deferred
+// protocol-safe evictions, and the shard residency gate that keeps the
+// direct-miss data plane consistent — and the sealed histories must still
+// pass the full per-key SC/Lin checkers, not just write atomicity.
+TEST(LiveRackTest, EpochChurnUnderDriftStaysConsistent) {
+  for (const ConsistencyModel model :
+       {ConsistencyModel::kSc, ConsistencyModel::kLin}) {
+    LiveRackParams p = StressParams(model);
+    p.workload.keyspace = 8'192;
+    p.workload.drift_period_ops = 15'000;
+    p.workload.drift_rank_shift = 64;
+    p.cache_capacity = 256;
+    p.prefill_hot_set = false;  // learn from cold
+    p.online_topk = true;
+    p.topk_epoch_requests = 5'000;
+    p.topk_sample_probability = 1.0;
+    p.ops_per_node = OpsPerNode(60'000, 15'000);
+    p.seed = 13;
+    LiveRack rack(p);
+    const LiveReport r = rack.Run();
+    ExpectHealthyRun(p, r);
+    EXPECT_GT(r.rack.epochs, 1u) << "epochs must keep closing";
+    EXPECT_GT(r.epoch_msgs, 0u);
+    const std::string err = model == ConsistencyModel::kSc
+                                ? rack.history().CheckPerKeySequentialConsistency()
+                                : rack.history().CheckPerKeyLinearizability();
+    EXPECT_EQ(err, "") << "model=" << ToString(model);
+    EXPECT_EQ(rack.history().CheckWriteAtomicity(), "") << "model=" << ToString(model);
+  }
+}
+
+// Oracle prefill composed with online epochs: the run starts in the steady
+// state and the epoch machinery takes membership over from there.
+TEST(LiveRackTest, PrefilledOnlineTopkStaysConsistent) {
+  LiveRackParams p = StressParams(ConsistencyModel::kLin);
+  p.online_topk = true;
+  p.topk_epoch_requests = 10'000;
+  p.topk_sample_probability = 1.0;
+  p.ops_per_node = OpsPerNode(40'000, 10'000);
+  LiveRack rack(p);
+  const LiveReport r = rack.Run();
+  ExpectHealthyRun(p, r);
+  EXPECT_EQ(rack.history().CheckPerKeyLinearizability(), "");
+}
+
 // The cooperative stop token halts issuing early but still drains to global
 // quiescence, so the sealed history stays checker-clean.
 TEST(LiveRackTest, EarlyStopStillSealsHistories) {

@@ -52,8 +52,12 @@ class FakeFabric {
   };
 
   CoherenceEngine& engine(int i) { return *engines_[static_cast<std::size_t>(i)]; }
+  SymmetricCache& cache(int i) { return *caches_[static_cast<std::size_t>(i)]; }
   CacheEntry& entry(int i) {
     return *caches_[static_cast<std::size_t>(i)]->Find(kKey);
+  }
+  CacheEntry& entryOf(int i, Key key) {
+    return *caches_[static_cast<std::size_t>(i)]->Find(key);
   }
   std::deque<Msg>& queue() { return queue_; }
 
@@ -416,6 +420,113 @@ TEST(Protocols, ScAllowsStaleReadLinDoesNot) {
     EXPECT_TRUE(resumed);
     EXPECT_EQ(observed, "new");  // never the stale value
   }
+}
+
+// ---------------------------------------------------------------------------
+// Hot-set membership hooks (epoch machinery)
+// ---------------------------------------------------------------------------
+
+TEST(MembershipHooks, EvictionSafeTracksLinWriteLifecycle) {
+  FakeFabric f(3, ConsistencyModel::kLin);
+  EXPECT_TRUE(f.engine(0).EvictionSafe(kKey));
+  f.engine(0).Write(kKey, "w", nullptr);
+  // Evicting mid-write would strand the pending-ack state: unsafe until the
+  // ack round completes, at every stage of it.
+  EXPECT_FALSE(f.engine(0).EvictionSafe(kKey));
+  f.DeliverAllInOrder();  // invalidations, acks, then the update broadcast
+  EXPECT_TRUE(f.engine(0).EvictionSafe(kKey));
+  EXPECT_TRUE(f.engine(0).Quiescent());
+}
+
+TEST(MembershipHooks, EvictionSafeFalseWithParkedReader) {
+  FakeFabric f(2, ConsistencyModel::kLin);
+  f.engine(0).Write(kKey, "w", nullptr);
+  f.DeliverOne();  // the invalidation reaches node 1
+  Value got;
+  f.engine(1).Read(kKey, nullptr, nullptr,
+                   [&got](const Value& v, Timestamp) { got = v; });
+  EXPECT_FALSE(f.engine(1).EvictionSafe(kKey));  // reader parked on Invalid
+  f.DeliverAllInOrder();                         // ack, then the update
+  EXPECT_EQ(got, "w");
+  EXPECT_TRUE(f.engine(1).EvictionSafe(kKey));
+}
+
+TEST(MembershipHooks, OnEvictedDropsPerKeyBookkeeping) {
+  FakeFabric f(2, ConsistencyModel::kLin);
+  f.DeliverAllInOrder();
+  ASSERT_TRUE(f.engine(0).EvictionSafe(kKey));
+  SymmetricCache::Eviction ev;
+  f.cache(0).Evict(kKey, &ev);
+  f.engine(0).OnEvicted(kKey);
+  EXPECT_TRUE(f.engine(0).Quiescent());
+}
+
+TEST(MembershipHooks, ScWriteToFillingEntryQueuesUntilFill) {
+  FakeFabric f(2, ConsistencyModel::kSc);
+  constexpr Key kFresh = 500;
+  f.cache(0).Admit(kFresh);
+  f.cache(1).Admit(kFresh);
+
+  bool done = false;
+  const auto result = f.engine(0).Write(kFresh, "queued", [&done] { done = true; });
+  EXPECT_EQ(result, CoherenceEngine::WriteResult::kPending);
+  EXPECT_FALSE(done);
+  EXPECT_EQ(f.engine(0).stats().local_writes_queued, 1u);
+  EXPECT_FALSE(f.engine(0).EvictionSafe(kFresh));  // queued write pins the key
+  EXPECT_TRUE(f.queue().empty());                  // nothing broadcast yet
+
+  // The epoch fill arrives with the clock the shard reached (7): the queued
+  // write must continue that clock, not restart at 1 — a restart could reuse
+  // a timestamp from before the key last left the hot set.
+  f.cache(0).Fill(kFresh, "filled", Timestamp{7, 1});
+  f.engine(0).OnFilled(kFresh);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(f.cache(0).Find(kFresh)->ts(), (Timestamp{8, 0}));
+  EXPECT_TRUE(f.engine(0).EvictionSafe(kFresh));
+  f.DeliverAllInOrder();
+  EXPECT_EQ(f.cache(1).Find(kFresh)->value, "queued");
+}
+
+TEST(MembershipHooks, LinWriteToFillingEntryQueuesUntilFill) {
+  FakeFabric f(2, ConsistencyModel::kLin);
+  constexpr Key kFresh = 501;
+  f.cache(0).Admit(kFresh);
+  f.cache(1).Admit(kFresh);
+
+  bool done = false;
+  f.engine(0).Write(kFresh, "queued", [&done] { done = true; });
+  EXPECT_FALSE(done);
+  EXPECT_TRUE(f.queue().empty());  // no invalidations until the fill
+
+  f.cache(0).Fill(kFresh, "filled", Timestamp{7, 1});
+  f.engine(0).OnFilled(kFresh);
+  EXPECT_FALSE(done);              // now a normal in-flight Lin write
+  EXPECT_FALSE(f.queue().empty()); // its invalidation is on the wire
+  f.DeliverAllInOrder();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(f.cache(0).Find(kFresh)->ts(), (Timestamp{8, 0}));
+  EXPECT_EQ(f.cache(1).Find(kFresh)->value, "queued");
+}
+
+TEST(MembershipHooks, RemoteTrafficReleasesFillingQueuedWrite) {
+  // A remote write's invalidation (not the fill) can be what moves a kFilling
+  // entry onto a live clock; the queued local write must start then.
+  FakeFabric f(2, ConsistencyModel::kLin);
+  constexpr Key kFresh = 502;
+  f.cache(0).Admit(kFresh);
+  f.cache(1).Admit(kFresh);
+  f.cache(1).Fill(kFresh, "filled", Timestamp{3, 1});
+  f.engine(1).OnFilled(kFresh);
+
+  bool done = false;
+  f.engine(0).Write(kFresh, "mine", [&done] { done = true; });  // queued
+  f.engine(1).Write(kFresh, "theirs", nullptr);
+  f.DeliverAllInOrder();  // inv releases node 0's queued write; rounds drain
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(f.engine(0).Quiescent());
+  EXPECT_TRUE(f.engine(1).Quiescent());
+  // Node 0's write carries the higher timestamp, so both converge on "mine".
+  EXPECT_EQ(f.entryOf(0, kFresh).value, f.entryOf(1, kFresh).value);
 }
 
 TEST(Protocols, QuiescentAfterDrain) {

@@ -60,7 +60,7 @@ TEST(RpcMessages, ResponseBatchRoundTrip) {
 
 TEST(RpcMessages, FillBatchRoundTrip) {
   std::vector<FillMsg> fills;
-  fills.push_back(FillMsg{11, "hot-value", Timestamp{4, 1}});
+  fills.push_back(FillMsg{11, "hot-value", Timestamp{4, 1}, /*epoch=*/9});
   Buffer buf;
   SerializeBatch(fills, &buf);
   const auto out = DeserializeFills(buf);
@@ -68,13 +68,24 @@ TEST(RpcMessages, FillBatchRoundTrip) {
   EXPECT_EQ(out[0].key, 11u);
   EXPECT_EQ(out[0].value, "hot-value");
   EXPECT_EQ(out[0].ts, (Timestamp{4, 1}));
+  EXPECT_EQ(out[0].epoch, 9u);
 }
 
 TEST(RpcMessages, HotSetRoundTrip) {
-  const std::vector<Key> keys = {5, 7, 11, ~0ull};
+  const HotSetAnnounceMsg msg{/*epoch=*/3, {5, 7, 11, ~0ull}};
   Buffer buf;
-  SerializeHotSet(keys, &buf);
-  EXPECT_EQ(DeserializeHotSet(buf), keys);
+  SerializeHotSet(msg, &buf);
+  EXPECT_EQ(PeekControlTag(buf), kCtrlTagHotSet);
+  const HotSetAnnounceMsg out = DeserializeHotSet(buf);
+  EXPECT_EQ(out.epoch, 3u);
+  EXPECT_EQ(out.keys, msg.keys);
+}
+
+TEST(RpcMessages, EpochInstalledRoundTrip) {
+  Buffer buf;
+  SerializeEpochInstalled(EpochInstalledMsg{42}, &buf);
+  EXPECT_EQ(PeekControlTag(buf), kCtrlTagEpochInstalled);
+  EXPECT_EQ(DeserializeEpochInstalled(buf).epoch, 42u);
 }
 
 // ---------------------------------------------------------------------------

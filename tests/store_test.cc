@@ -352,6 +352,85 @@ TEST(Partition, ConcurrentWritersDistinctKeys) {
 }
 
 // ---------------------------------------------------------------------------
+// Cache-residency gate (hot-set epoch machinery)
+// ---------------------------------------------------------------------------
+
+TEST(Partition, MarkCacheResidentSnapshotsAndGates) {
+  Partition part(SmallConfig());
+  const Timestamp wts = part.Put(42, "hot-value");
+
+  const Partition::ResidentSnapshot snap = part.MarkCacheResident(42);
+  EXPECT_EQ(snap.value, "hot-value");
+  EXPECT_EQ(snap.ts, wts);
+
+  // Reads still succeed but report residency inside the same snapshot.
+  Value v;
+  Timestamp ts;
+  bool resident = false;
+  ASSERT_TRUE(part.Get(42, &v, &ts, &resident));
+  EXPECT_TRUE(resident);
+  EXPECT_EQ(v, "hot-value");
+
+  // Direct writes are refused while the hot set owns the key.
+  EXPECT_FALSE(part.TryPut(42, "bypass", &ts));
+  ASSERT_TRUE(part.Get(42, &v, nullptr, nullptr));
+  EXPECT_EQ(v, "hot-value");
+
+  part.ClearCacheResident(42);
+  ASSERT_TRUE(part.Get(42, &v, &ts, &resident));
+  EXPECT_FALSE(resident);
+  ASSERT_TRUE(part.TryPut(42, "after-clear", &ts));
+  EXPECT_EQ(ts, (Timestamp{wts.clock + 1, 3}));
+}
+
+TEST(Partition, MarkCacheResidentMaterializesAbsentKeys) {
+  PartitionConfig pc = SmallConfig();
+  pc.synthesize = [](Key key) { return "synth-" + std::to_string(key); };
+  Partition part(pc);
+
+  const Partition::ResidentSnapshot snap = part.MarkCacheResident(7);
+  EXPECT_EQ(snap.value, "synth-7");
+  EXPECT_EQ(snap.ts, Timestamp{});
+  EXPECT_EQ(part.size(), 1u);  // the flag needed a record to live on
+
+  bool resident = false;
+  Value v;
+  ASSERT_TRUE(part.Get(7, &v, nullptr, &resident));
+  EXPECT_TRUE(resident);
+  EXPECT_EQ(v, "synth-7");
+}
+
+TEST(Partition, ApplyBypassesGateAndPreservesFlag) {
+  Partition part(SmallConfig());
+  part.Put(42, "v1");
+  part.MarkCacheResident(42);
+
+  // Protocol traffic (write-backs, late updates) lands while the gate is up
+  // and must not drop it.
+  EXPECT_TRUE(part.Apply(42, "write-back", Timestamp{9, 1}));
+  bool resident = false;
+  Value v;
+  ASSERT_TRUE(part.Get(42, &v, nullptr, &resident));
+  EXPECT_EQ(v, "write-back");
+  EXPECT_TRUE(resident);
+
+  // Plain Put (home-node client path, used by the simulator) preserves too.
+  part.Put(42, "v2");
+  ASSERT_TRUE(part.Get(42, &v, nullptr, &resident));
+  EXPECT_TRUE(resident);
+}
+
+TEST(Partition, TryPutOnAbsentKeyIsUngated) {
+  Partition part(SmallConfig());
+  Timestamp ts;
+  ASSERT_TRUE(part.TryPut(42, "first", &ts));
+  EXPECT_EQ(ts, (Timestamp{1, 3}));
+  Value v;
+  ASSERT_TRUE(part.Get(42, &v));
+  EXPECT_EQ(v, "first");
+}
+
+// ---------------------------------------------------------------------------
 // Partitioners
 // ---------------------------------------------------------------------------
 

@@ -59,6 +59,48 @@ TEST(Workload, HottestKeysMatchEmpiricalFrequency) {
   EXPECT_NEAR(static_cast<double>(hits) / n, expected, 0.01);
 }
 
+TEST(Workload, DriftRotatesHotSetDeterministically) {
+  WorkloadConfig cfg = SmallWorkload();
+  cfg.drift_period_ops = 1000;
+  cfg.drift_rank_shift = 7;
+  WorkloadGenerator gen(cfg, 1, 7);
+
+  // Phase is a pure function of the op count: after one period the mapping
+  // shifts by drift_rank_shift ranks, so consecutive phases overlap in
+  // exactly k - shift of their k hottest keys.
+  const auto phase0 = gen.HottestKeysAt(10, 0);
+  const auto phase1 = gen.HottestKeysAt(10, 1);
+  EXPECT_NE(phase0, phase1);
+  for (std::size_t r = 0; r + 7 < phase0.size(); ++r) {
+    EXPECT_EQ(phase0[r + 7], phase1[r]);  // rank r+shift slides to rank r
+  }
+
+  EXPECT_EQ(gen.drift_phase(), 0u);
+  for (int i = 0; i < 1000; ++i) {
+    gen.Next();
+  }
+  EXPECT_EQ(gen.drift_phase(), 1u);
+  EXPECT_EQ(gen.HottestKeys(10), phase1);
+
+  // Two generators with identical config replay identical drifting streams.
+  WorkloadGenerator a(cfg, 1, 7);
+  WorkloadGenerator b(cfg, 1, 7);
+  for (int i = 0; i < 2500; ++i) {
+    EXPECT_EQ(a.Next().key, b.Next().key);
+  }
+}
+
+TEST(Workload, StationaryConfigNeverDrifts) {
+  WorkloadConfig cfg = SmallWorkload();
+  WorkloadGenerator gen(cfg, 1, 7);
+  const auto hottest = gen.HottestKeys(10);
+  for (int i = 0; i < 5000; ++i) {
+    gen.Next();
+  }
+  EXPECT_EQ(gen.drift_phase(), 0u);
+  EXPECT_EQ(gen.HottestKeys(10), hottest);
+}
+
 TEST(Workload, GeneratorsAgreeOnKeyMapping) {
   // Different nodes (seeds, tags) must map ranks to the same key ids.
   WorkloadGenerator a(SmallWorkload(), 1, 1);

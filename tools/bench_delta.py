@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Compare two bench-smoke JSON artifact directories and print a delta table.
+
+Usage: bench_delta.py BASELINE_DIR CURRENT_DIR
+
+Each directory holds one JSON file per bench binary, in the bench_util.h
+WriteJson shape: {"meta": {...}, "entries": [{"label": ..., field: value}]}.
+(The pre-metadata plain-array shape is accepted for old baselines.)
+
+Entries are matched by (file, label); for each matched entry the key
+throughput/latency fields are compared and reported as a GitHub-flavoured
+markdown table.  Regressions beyond the warn threshold get a warning marker —
+never a failure: smoke runs are short and noisy, the table is a reviewer
+signal, not a gate.  Exit code is always 0.
+"""
+
+import json
+import os
+import sys
+
+# (field, higher_is_better)
+FIELDS = [
+    ("mrps", True),
+    ("hit_rate", True),
+    ("p99_latency_us", False),
+]
+WARN_PCT = 10.0
+
+
+def load_dir(path):
+    """Returns {filename: {"meta": dict, "entries": {label: fields}}}."""
+    out = {}
+    if not os.path.isdir(path):
+        return out
+    for name in sorted(os.listdir(path)):
+        if not name.endswith(".json"):
+            continue
+        try:
+            with open(os.path.join(path, name)) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(doc, list):  # pre-metadata artifact shape
+            meta, entries = {}, doc
+        else:
+            meta, entries = doc.get("meta", {}), doc.get("entries", [])
+        out[name] = {
+            "meta": meta,
+            "entries": {e["label"]: e for e in entries if "label" in e},
+        }
+    return out
+
+
+def fmt_delta(base, cur, higher_is_better):
+    if base is None or cur is None:
+        return "n/a", False
+    if base == 0:
+        return ("=" if cur == 0 else "new"), False
+    pct = 100.0 * (cur - base) / abs(base)
+    regressed = (-pct if higher_is_better else pct) > WARN_PCT
+    return f"{pct:+.1f}%", regressed
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip())
+        return 0
+    baseline = load_dir(sys.argv[1])
+    current = load_dir(sys.argv[2])
+    if not baseline:
+        print(f"_No baseline artifacts in {sys.argv[1]}; nothing to compare._")
+        return 0
+
+    base_sha = next(
+        (d["meta"].get("git_sha") for d in baseline.values() if d["meta"]), "unknown"
+    )
+    cur_sha = next(
+        (d["meta"].get("git_sha") for d in current.values() if d["meta"]), "unknown"
+    )
+    print(f"### Bench smoke delta: `{base_sha}` → `{cur_sha}`")
+    print()
+    print("| bench | entry | " + " | ".join(f for f, _ in FIELDS) + " |")
+    print("|---" * (2 + len(FIELDS)) + "|")
+
+    warnings = 0
+    rows = 0
+    for name, cur_doc in sorted(current.items()):
+        base_doc = baseline.get(name)
+        if base_doc is None:
+            print(f"| {name} | _(new bench)_ |" + " — |" * len(FIELDS))
+            continue
+        for label, cur_entry in cur_doc["entries"].items():
+            base_entry = base_doc["entries"].get(label)
+            if base_entry is None:
+                continue
+            cells = []
+            row_warn = False
+            for field, higher in FIELDS:
+                text, regressed = fmt_delta(
+                    base_entry.get(field), cur_entry.get(field), higher
+                )
+                row_warn |= regressed
+                cells.append(("⚠️ " if regressed else "") + text)
+            warnings += row_warn
+            rows += 1
+            short = name.removesuffix(".json")
+            print(f"| {short} | {label} | " + " | ".join(cells) + " |")
+
+    print()
+    if warnings:
+        print(
+            f"_{warnings}/{rows} entries regressed more than {WARN_PCT:.0f}% — "
+            "smoke windows are noisy; treat as a pointer, not a verdict._"
+        )
+    else:
+        print(f"_No regressions beyond {WARN_PCT:.0f}% across {rows} entries._")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
