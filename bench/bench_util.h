@@ -31,6 +31,7 @@
 
 #include "src/cckvs/rack.h"
 #include "src/cckvs/report_util.h"
+#include "src/runtime/live_rack.h"
 #include "src/runtime/report.h"
 
 namespace cckvs {
@@ -224,15 +225,56 @@ inline std::vector<std::pair<std::string, double>> LiveReportFields(
   auto fields = ReportFields(r.rack);
   fields.emplace_back("wall_seconds", r.wall_seconds);
   fields.emplace_back("channel_messages", static_cast<double>(r.channel_messages));
+  fields.emplace_back("channel_batches", static_cast<double>(r.channel_batches));
   fields.emplace_back("channel_full_waits",
                       static_cast<double>(r.channel_full_waits));
   fields.emplace_back("credit_parks", static_cast<double>(r.credit_parks));
   fields.emplace_back("sc_credit_stalls", static_cast<double>(r.sc_credit_stalls));
+  fields.emplace_back("wakeups", static_cast<double>(r.wakeups));
+  fields.emplace_back("flushes_size", static_cast<double>(r.flushes_size));
+  fields.emplace_back("flushes_boundary", static_cast<double>(r.flushes_boundary));
+  fields.emplace_back("flushes_idle", static_cast<double>(r.flushes_idle));
+  fields.emplace_back("updates_collapsed",
+                      static_cast<double>(r.updates_collapsed));
+  fields.emplace_back("avg_batch_size", r.batch_sizes.count() == 0
+                                            ? 0.0
+                                            : r.batch_sizes.Mean());
+  fields.emplace_back("p99_batch_size",
+                      static_cast<double>(r.batch_sizes.P99()));
   fields.emplace_back("epoch_msgs", static_cast<double>(r.epoch_msgs));
   fields.emplace_back("gate_retries", static_cast<double>(r.gate_retries));
   fields.emplace_back("store_read_retries",
                       static_cast<double>(r.store_read_retries));
   return fields;
+}
+
+// Runs a live rack and records its report under `label` (+ optional detail).
+inline LiveReport RunLive(const LiveRackParams& p, const std::string& label) {
+  LiveRack rack(p);
+  LiveReport r = rack.Run();
+  RecordEntry(label, LiveReportFields(r));
+  return r;
+}
+
+// The live counterpart of the fig13 coalescing sections: a config whose
+// channel traffic is broadcast-heavy enough for batching to matter (§8.5's
+// live analogue batches consistency messages — live misses are direct shard
+// loads and never touch the channels).
+inline LiveRackParams LiveCoalescingRack(ConsistencyModel model, bool coalescing,
+                                         std::uint64_t ops_per_node) {
+  LiveRackParams p;
+  p.num_nodes = 8;
+  p.consistency = model;
+  p.workload.keyspace = 1'000'000;
+  p.workload.zipf_alpha = 0.99;
+  p.workload.write_ratio = 0.05;
+  p.workload.value_bytes = 40;
+  p.cache_capacity = 1'000;  // 0.1% of the dataset, as in §7.1
+  p.window_per_node = 32;    // deep closed-loop window: fat op-boundary batches
+  p.ops_per_node = ops_per_node;
+  p.coalescing = coalescing;
+  p.seed = 42;
+  return p;
 }
 
 inline void PrintHeaderRule() {

@@ -51,5 +51,28 @@ int main(int argc, char** argv) {
   }
   std::printf("paper: all curves stay far below the 1 ms target; Lin's p95\n"
               "separates from its average at high load (blocking writes)\n");
+
+  PrintHeaderRule();
+  std::printf("live fabric, 8 nodes, 5%% writes: client latency with transport\n"
+              "coalescing off/on (batching trades per-message latency for\n"
+              "throughput; the boundary flush bounds the cost to one pump)\n\n");
+  std::printf("%-8s %-6s %10s %10s %10s\n", "model", "coal", "avg us", "p95 us",
+              "p99 us");
+  for (const ConsistencyModel model :
+       {ConsistencyModel::kSc, ConsistencyModel::kLin}) {
+    for (const bool coalesce : {false, true}) {
+      const LiveRackParams lp = LiveCoalescingRack(model, coalesce,
+                                                   Smoke() ? 15'000 : 150'000);
+      char label[64];
+      std::snprintf(label, sizeof(label), "live %s latency coalescing=%s",
+                    ToString(model), coalesce ? "on" : "off");
+      const LiveReport lr = RunLive(lp, label);
+      std::printf("%-8s %-6s %10.1f %10.1f %10.1f\n", ToString(model),
+                  coalesce ? "on" : "off", lr.rack.avg_latency_us,
+                  lr.rack.p95_latency_us, lr.rack.p99_latency_us);
+    }
+  }
+  std::printf("\nlive caveat: closed-loop percentiles include scheduler noise\n"
+              "(ROADMAP: busy-poll-pinned mode); compare off-vs-on, not vs sim\n");
   return 0;
 }

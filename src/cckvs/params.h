@@ -117,6 +117,10 @@ struct RackParams {
   bool online_topk = false;
   std::uint64_t topk_epoch_requests = 200'000;
   double topk_sample_probability = 0.05;
+  // Drift-aware pacing: adapt epoch length from last_epoch_churn() (high
+  // churn shortens the next epoch, churn ~0 lengthens it, clamped; see
+  // topk/epoch_coordinator.h).
+  bool topk_adaptive_epochs = false;
 
   // Record a full operation history for the consistency checkers (small runs).
   bool record_history = false;

@@ -267,6 +267,7 @@ RackNode::RackNode(RackSimulation* rack, NodeId id)
     hc.epoch.requests_per_epoch = p.topk_epoch_requests;
     hc.epoch.sample_probability = p.topk_sample_probability;
     hc.epoch.seed = p.seed ^ 0x70cull;
+    hc.epoch.adaptive = p.topk_adaptive_epochs;
     hc.home_of = [rack](Key key) { return rack->HomeOf(key); };
     hot_mgr_ = std::make_unique<HotSetManager>(hc, cache_.get(), engine_.get());
   }

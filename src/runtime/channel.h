@@ -39,6 +39,7 @@ class MpscChannel {
   // Enqueues one item; blocks while the channel is full (backstop only — see
   // the header comment).
   void Push(T item) {
+    bool wake = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (items_.size() >= capacity_) {
@@ -47,8 +48,20 @@ class MpscChannel {
       }
       items_.push_back(std::move(item));
       pushes_.fetch_add(1, std::memory_order_relaxed);
+      // Notify only when the consumer is actually parked in WaitDrain.  The
+      // consumer sets waiting_ under this mutex before sleeping and re-checks
+      // its predicate under it, so a skipped notify can never be a lost
+      // wakeup — it just spares the syscall on the (common) non-idle path.
+      // One push is one potential wakeup, so a coalesced batch of N messages
+      // wakes the receiver at most once; wakeups() makes that observable.
+      wake = waiting_;
+      if (wake) {
+        wakeups_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
-    not_empty_.notify_one();
+    if (wake) {
+      not_empty_.notify_one();
+    }
   }
 
   // Moves up to `max` items into *out (appended).  Non-blocking; returns the
@@ -62,7 +75,9 @@ class MpscChannel {
   std::size_t WaitDrain(std::vector<T>* out, std::size_t max,
                         std::chrono::microseconds timeout) {
     std::unique_lock<std::mutex> lock(mu_);
+    waiting_ = true;
     not_empty_.wait_for(lock, timeout, [this] { return !items_.empty(); });
+    waiting_ = false;
     return DrainLocked(out, max);
   }
 
@@ -75,6 +90,10 @@ class MpscChannel {
   std::uint64_t pushes() const { return pushes_.load(std::memory_order_relaxed); }
   std::uint64_t full_waits() const {
     return full_waits_.load(std::memory_order_relaxed);
+  }
+  // notify_one calls actually issued (a producer found the consumer parked).
+  std::uint64_t wakeups() const {
+    return wakeups_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -97,8 +116,10 @@ class MpscChannel {
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<T> items_;
+  bool waiting_ = false;  // consumer parked in WaitDrain (guarded by mu_)
   std::atomic<std::uint64_t> pushes_{0};
   std::atomic<std::uint64_t> full_waits_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
 };
 
 }  // namespace cckvs

@@ -1,0 +1,57 @@
+#include "src/runtime/coalescer.h"
+
+#include "src/common/check.h"
+
+namespace cckvs {
+
+SendCoalescer::SendCoalescer(const CoalescerConfig& config)
+    : config_(config),
+      effective_max_(config.enabled ? config.max_batch : 1),
+      open_(static_cast<std::size_t>(config.num_peers)) {
+  CCKVS_CHECK_GE(config.num_peers, 1);
+  CCKVS_CHECK_GE(effective_max_, 1);
+  for (WireBatch& b : open_) {
+    b.src = config_.self;
+  }
+}
+
+bool SendCoalescer::Append(NodeId to, WireBody body) {
+  CCKVS_DCHECK(to != config_.self);
+  WireBatch& batch = open_[to];
+  batch.msgs.push_back(std::move(body));
+  return batch.msgs.size() >= static_cast<std::size_t>(effective_max_);
+}
+
+WireBatch SendCoalescer::Take(NodeId to, FlushCause cause) {
+  WireBatch& open = open_[to];
+  WireBatch taken;
+  taken.src = config_.self;
+  if (open.msgs.empty()) {
+    return taken;
+  }
+  taken.msgs.swap(open.msgs);
+  ++batches_sent_;
+  messages_sent_ += taken.msgs.size();
+  ++flushes_[static_cast<std::size_t>(cause)];
+  batch_sizes_.Record(taken.msgs.size());
+  return taken;
+}
+
+bool SendCoalescer::AllEmpty() const {
+  for (const WireBatch& b : open_) {
+    if (!b.msgs.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t SendCoalescer::open_messages() const {
+  std::size_t n = 0;
+  for (const WireBatch& b : open_) {
+    n += b.msgs.size();
+  }
+  return n;
+}
+
+}  // namespace cckvs

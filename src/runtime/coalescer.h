@@ -1,0 +1,201 @@
+// Message coalescing for the live fabric: the layer between the consistency
+// engines and the MPSC channels (the live analogue of §8.5 request
+// coalescing, which the simulator models via RackParams::coalescing).
+//
+// The live rack's channels are mutex-guarded; without coalescing every
+// protocol message pays one lock acquisition at the sender and wakes the
+// receiver once.  The paper's insight transfers directly: messages to the
+// same destination can share a "packet".  Here the packet is a WireBatch —
+// one channel push carrying N WireBody messages and a single source id (the
+// live analogue of header amortization: the per-message src byte and the
+// per-push lock/notify are paid once per batch).
+//
+// Send side: SendCoalescer keeps one open batch per peer.  Messages append
+// in send order, so per-peer FIFO — which the Lin protocol (invalidation
+// before its update) and the hot-set install barrier both depend on — is
+// preserved across batch boundaries by construction: batches close in append
+// order and the channel itself is FIFO.  Three flush policies:
+//
+//   * kSize      — the open batch reached max_batch (checked on every append);
+//   * kBoundary  — the host's run loop finished one pump iteration (its "op
+//                  boundary"): everything the iteration produced — acks for
+//                  polled invalidations, updates/invalidations from issued
+//                  ops — ships now, bounding message latency to one iteration;
+//   * kIdle      — the endpoint is about to sleep in WaitForTraffic; a
+//                  backstop so no message can sleep inside an open batch even
+//                  if a host forgets its boundary flushes.
+//
+// With coalescing disabled the same code path runs with an effective
+// max_batch of 1: every message closes its own batch, so the uncoalesced
+// rack differs only by batch size — which is what makes the on/off benches a
+// controlled comparison.
+//
+// Credit accounting is deliberately NOT batched: credits are acquired per
+// message before it enters a batch, and receivers count/return them per
+// message (§6.3's bounds are about messages, not packets).  Likewise
+// LiveTransport::inflight() counts messages from the moment they enter an
+// open batch, so the drain-phase exit condition is unchanged.
+//
+// Receive side: UpdateRunDemux groups consecutive same-key *updates* in the
+// drained stream into a run and forwards only the run's maximum-timestamp
+// element.  Both engines apply updates iff-newer, and the host's run loop
+// issues no client op mid-poll, so collapsing a run is observationally
+// equivalent to applying it element by element.  Only updates collapse:
+// every invalidation must produce exactly one ack (the writer counts N-1 of
+// them) and every ack must be counted, so those always pass through.
+
+#ifndef CCKVS_RUNTIME_COALESCER_H_
+#define CCKVS_RUNTIME_COALESCER_H_
+
+#include <cstdint>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/types.h"
+#include "src/protocol/messages.h"
+#include "src/topk/hot_set_messages.h"
+
+namespace cckvs {
+
+// One message on the in-process fabric: the consistency protocol's three
+// classes plus the hot-set subsystem's epoch traffic.  Epoch messages ride
+// the same credited lanes as broadcasts, which both bounds them under the
+// §6.3 credit scheme and keeps them FIFO behind the updates a node sent
+// earlier — the ordering the install barrier depends on (hot_set_manager.h).
+using WireBody = std::variant<UpdateMsg, InvalidateMsg, AckMsg, HotSetAnnounceMsg,
+                              FillMsg, EpochInstalledMsg>;
+
+// N same-destination messages sharing one channel push and one source id.
+struct WireBatch {
+  NodeId src = 0;
+  std::vector<WireBody> msgs;
+};
+
+enum class FlushCause : std::uint8_t {
+  kSize = 0,   // open batch reached max_batch
+  kBoundary,   // host run-loop iteration ended (op boundary)
+  kIdle,       // endpoint about to sleep; backstop flush
+  kNumCauses,
+};
+
+inline const char* ToString(FlushCause c) {
+  switch (c) {
+    case FlushCause::kSize:
+      return "size";
+    case FlushCause::kBoundary:
+      return "boundary";
+    case FlushCause::kIdle:
+      return "idle";
+    case FlushCause::kNumCauses:
+      break;
+  }
+  return "?";
+}
+
+struct CoalescerConfig {
+  NodeId self = 0;   // stamped as WireBatch::src
+  int num_peers = 0; // peer id space (self's slot stays unused)
+  bool enabled = false;
+  int max_batch = 16;  // mirrors RackParams::coalesce_max_batch
+};
+
+// Per-peer send-side batch buffers.  Single-threaded: only the owning node's
+// thread appends and takes (the same contract as the engines themselves).
+class SendCoalescer {
+ public:
+  explicit SendCoalescer(const CoalescerConfig& config);
+
+  // Appends one message to the open batch for `to`.  Returns true when the
+  // batch just reached max_batch: the caller must Take(to, kSize) and deliver
+  // it now, so a batch never exceeds the cap.
+  bool Append(NodeId to, WireBody body);
+
+  // Closes and returns the open batch for `to` (msgs empty when there is
+  // nothing open).  Non-empty takes are recorded in the flush/size stats.
+  WireBatch Take(NodeId to, FlushCause cause);
+
+  bool empty(NodeId to) const { return open_[to].msgs.empty(); }
+  bool AllEmpty() const;
+  // Messages sitting in open batches (committed to delivery, not yet pushed).
+  std::size_t open_messages() const;
+
+  // --- observability (LiveReport / bench plumbing) ---
+  std::uint64_t batches_sent() const { return batches_sent_; }
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t flushes(FlushCause cause) const {
+    return flushes_[static_cast<std::size_t>(cause)];
+  }
+  const Histogram& batch_sizes() const { return batch_sizes_; }
+
+ private:
+  CoalescerConfig config_;
+  int effective_max_;  // 1 when disabled: every message closes its own batch
+  std::vector<WireBatch> open_;  // indexed by peer id
+  std::uint64_t batches_sent_ = 0;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t flushes_[static_cast<std::size_t>(FlushCause::kNumCauses)] = {};
+  Histogram batch_sizes_;
+};
+
+// Streaming receive-side demux: forwards the drained message stream to the
+// engine handler, collapsing each run of consecutive same-key updates to its
+// maximum-timestamp element (see header comment for why this is safe).
+//
+// Held pointers reference the caller's drained batch storage, so the stream
+// must stay alive until Flush() — Endpoint::Poll drains into a member
+// scratch buffer and flushes before returning.  One instance per Poll call;
+// the collapsed-update count accumulates into *collapsed.
+class UpdateRunDemux {
+ public:
+  explicit UpdateRunDemux(std::uint64_t* collapsed) : collapsed_(collapsed) {}
+
+  template <typename Handler>
+  void OnMessage(NodeId src, const WireBody& body, Handler&& handler) {
+    if (const auto* upd = std::get_if<UpdateMsg>(&body)) {
+      if (held_ != nullptr && held_->key == upd->key) {
+        // Same run: keep whichever update Lamport order says wins.  Updates
+        // from one writer are monotonic, so ties cannot occur; across writers
+        // the writer id breaks them.
+        ++*collapsed_;
+        if (upd->ts > held_->ts) {
+          held_ = upd;
+          held_body_ = &body;
+          held_src_ = src;
+        }
+        return;
+      }
+      Flush(handler);  // a different key starts a new run
+      held_ = upd;
+      held_body_ = &body;
+      held_src_ = src;
+      return;
+    }
+    // Any non-update ends the current run before it is delivered: an
+    // invalidation or epoch message for the held key must not overtake it.
+    Flush(handler);
+    handler(src, body);
+  }
+
+  template <typename Handler>
+  void Flush(Handler&& handler) {
+    if (held_ == nullptr) {
+      return;
+    }
+    const WireBody* body = held_body_;
+    held_ = nullptr;
+    held_body_ = nullptr;
+    handler(held_src_, *body);
+  }
+
+ private:
+  std::uint64_t* collapsed_;
+  const UpdateMsg* held_ = nullptr;     // view into *held_body_
+  const WireBody* held_body_ = nullptr; // points into the caller's drained batches
+  NodeId held_src_ = 0;
+};
+
+}  // namespace cckvs
+
+#endif  // CCKVS_RUNTIME_COALESCER_H_

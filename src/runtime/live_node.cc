@@ -8,8 +8,9 @@
 namespace cckvs {
 namespace {
 
-// Messages processed per pump before giving client ops a turn; keeps one
-// flooded channel from starving the node's own sessions.
+// Inbound batches drained per pump before giving client ops a turn; keeps one
+// flooded channel from starving the node's own sessions.  Counts batches, so
+// a pump handles at most kPollBatch * coalesce_max_batch messages.
 constexpr std::size_t kPollBatch = 256;
 
 }  // namespace
@@ -46,6 +47,7 @@ LiveNode::LiveNode(LiveRack* rack, NodeId id, WorkloadGenerator gen)
     hc.epoch.requests_per_epoch = p.topk_epoch_requests;
     hc.epoch.sample_probability = p.topk_sample_probability;
     hc.epoch.seed = p.seed ^ 0x70cull;
+    hc.epoch.adaptive = p.topk_adaptive_epochs;
     hc.home_of = [rack](Key key) { return rack->HomeOf(key); };
     hot_mgr_ = std::make_unique<HotSetManager>(hc, cache_.get(), engine_.get());
   }
@@ -97,6 +99,13 @@ void LiveNode::Run(StopToken stop) {
       }
     }
 
+    // Op boundary: everything this iteration produced — acks for the polled
+    // invalidations, updates/invalidations/epoch traffic from the ops above —
+    // ships now, one batch per peer.  Unconditional, so no message outlives
+    // an iteration inside an open batch and the done-check below can trust
+    // NothingPending().
+    ep_->FlushBatches(FlushCause::kBoundary);
+
     if (!done_ && halted_ && AllSessionsIdle() && parked_sc_writes_.empty() &&
         ep_->NothingPending() && engine_->Quiescent()) {
       // Locally quiescent: no client work, no parked protocol work.  This is
@@ -120,31 +129,31 @@ void LiveNode::Run(StopToken stop) {
 }
 
 std::size_t LiveNode::PollInbound(std::size_t max) {
-  return ep_->Poll(max, [this](const WireMsg& msg) {
-    if (const auto* upd = std::get_if<UpdateMsg>(&msg.body)) {
+  return ep_->Poll(max, [this](NodeId src, const WireBody& body) {
+    if (const auto* upd = std::get_if<UpdateMsg>(&body)) {
       if (cache_->Find(upd->key) != nullptr) {
-        engine_->OnUpdate(msg.src, *upd);
+        engine_->OnUpdate(src, *upd);
       } else if (rack_->HomeOf(upd->key) == id_) {
         // Key not cached here (possible once hot sets churn): complete the
         // write-back directly into the home shard, as the simulator does.
         partition_->Apply(upd->key, upd->value, upd->ts);
       }
-    } else if (const auto* inv = std::get_if<InvalidateMsg>(&msg.body)) {
-      engine_->OnInvalidate(msg.src, *inv);  // acks unconditionally
-    } else if (const auto* ack = std::get_if<AckMsg>(&msg.body)) {
-      engine_->OnAck(msg.src, *ack);
-    } else if (const auto* hot = std::get_if<HotSetAnnounceMsg>(&msg.body)) {
+    } else if (const auto* inv = std::get_if<InvalidateMsg>(&body)) {
+      engine_->OnInvalidate(src, *inv);  // acks unconditionally
+    } else if (const auto* ack = std::get_if<AckMsg>(&body)) {
+      engine_->OnAck(src, *ack);
+    } else if (const auto* hot = std::get_if<HotSetAnnounceMsg>(&body)) {
       if (hot_mgr_ != nullptr) {
         HandleTransition(hot_mgr_->Apply(*hot));
       }
-    } else if (const auto* fill = std::get_if<FillMsg>(&msg.body)) {
+    } else if (const auto* fill = std::get_if<FillMsg>(&body)) {
       if (hot_mgr_ != nullptr) {
         hot_mgr_->ApplyFill(*fill);
       }
     } else {
-      const auto& installed = std::get<EpochInstalledMsg>(msg.body);
+      const auto& installed = std::get<EpochInstalledMsg>(body);
       if (hot_mgr_ != nullptr) {
-        LiftGates(hot_mgr_->OnPeerInstalled(msg.src, installed.epoch));
+        LiftGates(hot_mgr_->OnPeerInstalled(src, installed.epoch));
       }
     }
   });

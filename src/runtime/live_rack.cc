@@ -22,6 +22,11 @@ LiveTransport::Config TransportConfig(const LiveRackParams& p) {
       static_cast<std::size_t>(p.num_nodes - 1) *
           static_cast<std::size_t>(p.bcast_credits_per_peer + p.window_per_node) +
       64;
+  // Coalescing only lowers the push count against the same message bound
+  // (every batch carries ≥ 1 message), so the capacity above stays valid.
+  c.coalescing = p.coalescing;
+  c.coalesce_max_batch = p.coalesce_max_batch;
+  c.coalesce_flush_on_idle = p.coalesce_flush_on_idle;
   return c;
 }
 
@@ -114,8 +119,16 @@ LiveReport LiveRack::Run() {
 
     const LiveTransport::Endpoint& ep = transport_.endpoint(static_cast<NodeId>(i));
     report.channel_messages += ep.messages_received();
+    report.channel_batches += ep.batches_received();
     report.channel_full_waits += ep.full_waits();
     report.credit_parks += ep.credit_parks();
+    report.wakeups += ep.wakeups();
+    report.batches_sent += ep.coalescer().batches_sent();
+    report.flushes_size += ep.coalescer().flushes(FlushCause::kSize);
+    report.flushes_boundary += ep.coalescer().flushes(FlushCause::kBoundary);
+    report.flushes_idle += ep.coalescer().flushes(FlushCause::kIdle);
+    report.updates_collapsed += ep.updates_collapsed();
+    report.batch_sizes.Merge(ep.coalescer().batch_sizes());
     report.epoch_msgs += ep.epoch_msgs_sent();
     report.rack.updates_sent += ep.updates_sent();
     report.rack.invalidations_sent += ep.invalidations_sent();

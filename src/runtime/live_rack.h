@@ -65,6 +65,14 @@ struct LiveRackParams {
   int bcast_credits_per_peer = 64;
   int credit_update_batch = 8;
 
+  // Transport coalescing (§8.5 on the live fabric; runtime/coalescer.h):
+  // same-destination messages share one channel push, flushed by size cap,
+  // op boundary, and (knob below) the pre-sleep idle backstop.  Credit
+  // accounting and inflight() stay per-message either way.
+  bool coalescing = false;
+  int coalesce_max_batch = 16;       // mirrors RackParams::coalesce_max_batch
+  bool coalesce_flush_on_idle = true;
+
   // Hot-set management.  With prefill_hot_set the run starts in the paper's
   // steady state (oracle top-k installed everywhere); with online_topk node 0
   // additionally runs the epoch coordinator and the rack adapts as popularity
@@ -74,6 +82,9 @@ struct LiveRackParams {
   bool online_topk = false;
   std::uint64_t topk_epoch_requests = 200'000;
   double topk_sample_probability = 0.05;
+  // Drift-aware epoch pacing: the coordinator adapts epoch length from the
+  // churn the last epoch measured (topk/epoch_coordinator.h).
+  bool topk_adaptive_epochs = false;
 
   bool record_history = false;  // sealed per-key history for the checkers
   std::uint64_t seed = 1;

@@ -4,7 +4,8 @@
 // consistency-message counts) lives in the embedded RackReport so live runs
 // and simulator runs are directly comparable — bench/live_throughput.cpp
 // prints them side by side.  Live-only observables (wall-clock time, channel
-// and credit behaviour, store/slab counters) ride alongside.
+// and credit behaviour, transport coalescing, store/slab counters) ride
+// alongside.
 
 #ifndef CCKVS_RUNTIME_REPORT_H_
 #define CCKVS_RUNTIME_REPORT_H_
@@ -12,6 +13,7 @@
 #include <cstdint>
 
 #include "src/cckvs/params.h"
+#include "src/common/histogram.h"
 #include "src/protocol/engine.h"
 
 namespace cckvs {
@@ -27,9 +29,19 @@ struct LiveReport {
 
   // Transport behaviour.
   std::uint64_t channel_messages = 0;
+  std::uint64_t channel_batches = 0;     // channel pushes; == messages uncoalesced
   std::uint64_t channel_full_waits = 0;  // nonzero = credit sizing was violated
   std::uint64_t credit_parks = 0;        // broadcasts parked waiting for credits
   std::uint64_t sc_credit_stalls = 0;    // SC write-hits parked at the throttle
+  std::uint64_t wakeups = 0;             // receiver wakeups (≤ batches pushed)
+
+  // Coalescing subsystem (runtime/coalescer.h).
+  std::uint64_t batches_sent = 0;        // == channel_batches, sender view
+  std::uint64_t flushes_size = 0;        // batches closed by the max_batch cap
+  std::uint64_t flushes_boundary = 0;    // batches closed at an op boundary
+  std::uint64_t flushes_idle = 0;        // backstop flushes (0 in a healthy run)
+  std::uint64_t updates_collapsed = 0;   // receive-side same-key run collapses
+  Histogram batch_sizes;                 // messages per shipped batch
 
   // Hot-set subsystem (online_topk runs; epochs/churn ride in rack.*).
   std::uint64_t epoch_msgs = 0;    // announces + fills + install confirmations

@@ -3,12 +3,25 @@
 #include "src/common/check.h"
 
 namespace cckvs {
+namespace {
+
+CoalescerConfig MakeCoalescerConfig(const LiveTransport::Config& c, NodeId self) {
+  CoalescerConfig cc;
+  cc.self = self;
+  cc.num_peers = c.num_nodes;
+  cc.enabled = c.coalescing;
+  cc.max_batch = c.coalesce_max_batch;
+  return cc;
+}
+
+}  // namespace
 
 LiveTransport::LiveTransport(const Config& config) : config_(config) {
   CCKVS_CHECK_GE(config.num_nodes, 2);
   // Stranded-credit bound: a receiver holds back at most batch-1 credits per
   // peer, so the pool must be strictly larger or senders can park forever.
   CCKVS_CHECK_GT(config.bcast_credits_per_peer, config.credit_update_batch);
+  CCKVS_CHECK_GE(config.coalesce_max_batch, 1);
   for (int i = 0; i < config.num_nodes; ++i) {
     endpoints_.push_back(std::make_unique<Endpoint>(this, static_cast<NodeId>(i)));
   }
@@ -18,17 +31,38 @@ LiveTransport::Endpoint::Endpoint(LiveTransport* transport, NodeId self)
     : transport_(transport),
       self_(self),
       inbox_(transport->config_.channel_capacity),
+      coalescer_(MakeCoalescerConfig(transport->config_, self)),
       bcast_credits_(transport->config_.num_nodes,
                      transport->config_.bcast_credits_per_peer),
       batcher_(transport->config_.num_nodes, transport->config_.credit_update_batch),
       returned_(static_cast<std::size_t>(transport->config_.num_nodes)),
       pending_(static_cast<std::size_t>(transport->config_.num_nodes)) {}
 
-void LiveTransport::Endpoint::Deliver(NodeId to, WireMsg msg) {
-  // Count before the push so inflight() never under-reports a consumable
-  // message; the receiver decrements after its handler finishes.
+void LiveTransport::Endpoint::Enqueue(NodeId to, WireBody body) {
+  // Count before the message becomes visible so inflight() never
+  // under-reports a consumable message; the receiver decrements after its
+  // handler finishes.  Messages waiting in an open batch are in flight: they
+  // are past credit accounting and committed to delivery.
   transport_->inflight_.fetch_add(1, std::memory_order_acq_rel);
-  transport_->endpoints_[to]->inbox_.Push(std::move(msg));
+  if (coalescer_.Append(to, std::move(body))) {
+    DeliverBatch(to, coalescer_.Take(to, FlushCause::kSize));
+  }
+}
+
+void LiveTransport::Endpoint::DeliverBatch(NodeId to, WireBatch batch) {
+  if (batch.msgs.empty()) {
+    return;
+  }
+  transport_->endpoints_[to]->inbox_.Push(std::move(batch));
+}
+
+void LiveTransport::Endpoint::FlushBatches(FlushCause cause) {
+  for (int j = 0; j < transport_->config_.num_nodes; ++j) {
+    if (j != self_ && !coalescer_.empty(static_cast<NodeId>(j))) {
+      DeliverBatch(static_cast<NodeId>(j),
+                   coalescer_.Take(static_cast<NodeId>(j), cause));
+    }
+  }
 }
 
 void LiveTransport::Endpoint::HarvestCredits(NodeId peer) {
@@ -38,16 +72,16 @@ void LiveTransport::Endpoint::HarvestCredits(NodeId peer) {
   }
 }
 
-void LiveTransport::Endpoint::SendCredited(NodeId to, WireMsg msg) {
+void LiveTransport::Endpoint::SendCredited(NodeId to, WireBody body) {
   HarvestCredits(to);
   // A non-empty pending queue means this peer's credits ran dry earlier;
   // jumping the queue would reorder invalidation vs. update, so append.
   if (!pending_[to].empty() || !bcast_credits_.TryAcquire(to)) {
     ++credit_parks_;
-    pending_[to].push_back(std::move(msg));
+    pending_[to].push_back(std::move(body));
     return;
   }
-  Deliver(to, std::move(msg));
+  Enqueue(to, std::move(body));
 }
 
 template <typename T>
@@ -55,7 +89,7 @@ void LiveTransport::Endpoint::BroadcastCredited(const T& msg,
                                                 std::uint64_t* counter) {
   for (int j = 0; j < transport_->config_.num_nodes; ++j) {
     if (j != self_) {
-      SendCredited(static_cast<NodeId>(j), WireMsg{self_, msg});
+      SendCredited(static_cast<NodeId>(j), WireBody{msg});
       ++*counter;
     }
   }
@@ -83,8 +117,10 @@ void LiveTransport::Endpoint::BroadcastEpochInstalled(const EpochInstalledMsg& m
 
 void LiveTransport::Endpoint::SendAck(NodeId to, const AckMsg& msg) {
   // Implicit credits: acks answer invalidations one-for-one, so the writer's
-  // outstanding invalidations bound them (§6.3) — no pool, no parking.
-  Deliver(to, WireMsg{self_, msg});
+  // outstanding invalidations bound them (§6.3) — no pool, no parking.  They
+  // still coalesce: an iteration that polled a burst of invalidations ships
+  // all its acks to one writer as a single batch.
+  Enqueue(to, WireBody{msg});
   ++acks_sent_;
 }
 
@@ -96,9 +132,9 @@ void LiveTransport::Endpoint::FlushPending() {
     HarvestCredits(static_cast<NodeId>(j));
     while (!pending_[j].empty() &&
            bcast_credits_.TryAcquire(static_cast<NodeId>(j))) {
-      WireMsg msg = std::move(pending_[j].front());
+      WireBody body = std::move(pending_[j].front());
       pending_[j].pop_front();
-      Deliver(static_cast<NodeId>(j), std::move(msg));
+      Enqueue(static_cast<NodeId>(j), std::move(body));
     }
   }
 }
@@ -122,11 +158,14 @@ bool LiveTransport::Endpoint::NothingPending() const {
       return false;
     }
   }
-  return true;
+  return coalescer_.AllEmpty();
 }
 
 void LiveTransport::Endpoint::WaitForTraffic(std::chrono::microseconds timeout) {
-  std::vector<WireMsg> none;
+  if (transport_->config_.coalesce_flush_on_idle && !coalescer_.AllEmpty()) {
+    FlushBatches(FlushCause::kIdle);
+  }
+  std::vector<WireBatch> none;
   inbox_.WaitDrain(&none, /*max=*/0, timeout);  // wakes early on arrival
 }
 

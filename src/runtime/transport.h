@@ -1,4 +1,5 @@
-// In-process transport for the live rack: MPSC channels + credit backpressure.
+// In-process transport for the live rack: MPSC channels + credit backpressure
+// + per-peer message coalescing (runtime/coalescer.h).
 //
 // Each node owns an Endpoint.  The endpoint implements the consistency
 // engines' MessageSink on the send side and exposes a Poll() pump on the
@@ -6,23 +7,38 @@
 // threads with no changes — the engine still sees a single-threaded host
 // (only the owning node's thread calls into it; peers only enqueue).
 //
-// Flow control mirrors §6.3/§6.4 via the simulator's own primitives
-// (src/rdma/flow_control.h):
+// Channel traffic is per-batch: outgoing messages append to per-peer
+// WireBatch buffers in the SendCoalescer and ship as one channel push when a
+// flush policy fires (size cap, the host's op-boundary flush, or the
+// pre-sleep idle backstop) — the live analogue of §8.5's header
+// amortization.  With Config::coalescing off the same path runs with batch
+// size 1.  Per-peer FIFO order — the invalidation-then-update order the Lin
+// protocol relies on, and the lanes the hot-set install barrier rides — is
+// preserved across batch boundaries: batches close in append order, and the
+// channel itself is FIFO.
+//
+// Flow control stays per-MESSAGE and mirrors §6.3/§6.4 via the simulator's
+// own primitives (src/rdma/flow_control.h):
 //
 //  * Broadcast traffic (updates, invalidations) spends explicit per-peer
-//    credits from a CreditPool.  With no credit — or with earlier messages
-//    already parked — the message queues in a per-peer FIFO, preserving the
-//    invalidation-then-update order the Lin protocol relies on.  Receivers
-//    return credits in batches (CreditUpdateBatcher); the return ride is a
-//    per-direction atomic counter, the live analogue of the header-only
-//    credit-update message.
+//    credits from a CreditPool before entering a batch.  With no credit — or
+//    with earlier messages already parked — the message queues in a per-peer
+//    FIFO ahead of the coalescer, preserving send order.  Receivers count
+//    every received message and return credits in batches
+//    (CreditUpdateBatcher); the return ride is a per-direction atomic
+//    counter, the live analogue of the header-only credit-update message.
 //  * Acks ride on implicit credits: they answer invalidations one-for-one, so
 //    the writer's outstanding invalidations already bound them and they
 //    bypass the pool — exactly the sim's RackNode::SendAck.
 //
+// inflight() likewise counts MESSAGES — from the moment one enters an open
+// batch (committed to delivery) until its receive handler completes — so the
+// rack's drain-phase exit condition is unchanged by batching.
+//
 // Channel capacity is sized so that credits + the ack bound keep every
-// channel from ever filling; MpscChannel::full_waits() counts violations of
-// that invariant (zero in a healthy run).
+// channel from ever filling (batches never outnumber the messages they
+// carry); MpscChannel::full_waits() counts violations of that invariant
+// (zero in a healthy run).
 
 #ifndef CCKVS_RUNTIME_TRANSPORT_H_
 #define CCKVS_RUNTIME_TRANSPORT_H_
@@ -36,25 +52,15 @@
 #include <variant>
 #include <vector>
 
+#include "src/common/histogram.h"
 #include "src/protocol/engine.h"
 #include "src/protocol/messages.h"
 #include "src/rdma/flow_control.h"
 #include "src/runtime/channel.h"
+#include "src/runtime/coalescer.h"
 #include "src/topk/hot_set_messages.h"
 
 namespace cckvs {
-
-// One message on the in-process fabric: the consistency protocol's three
-// classes plus the hot-set subsystem's epoch traffic.  Epoch messages ride
-// the same credited lanes as broadcasts, which both bounds them under the
-// §6.3 credit scheme and keeps them FIFO behind the updates a node sent
-// earlier — the ordering the install barrier depends on (hot_set_manager.h).
-struct WireMsg {
-  NodeId src = 0;
-  std::variant<UpdateMsg, InvalidateMsg, AckMsg, HotSetAnnounceMsg, FillMsg,
-               EpochInstalledMsg>
-      body;
-};
 
 class LiveTransport {
  public:
@@ -63,8 +69,17 @@ class LiveTransport {
     int bcast_credits_per_peer = 64;
     int credit_update_batch = 8;
     // Per-node inbound channel bound; LiveRack sizes this from credits +
-    // window so that Push never blocks.
+    // window so that Push never blocks.  Counts batches, which the message
+    // bound dominates (every batch carries at least one message).
     std::size_t channel_capacity = 4096;
+    // §8.5 on the live fabric: batch same-destination messages into shared
+    // channel pushes.  Off = batch size 1 through the same code path.
+    bool coalescing = false;
+    int coalesce_max_batch = 16;
+    // Backstop: WaitForTraffic flushes open batches before sleeping.  The
+    // run loop's op-boundary flush normally ships everything first, so this
+    // firing (flushes_idle > 0) means a host skipped its boundary flushes.
+    bool coalesce_flush_on_idle = true;
   };
 
   class Endpoint final : public MessageSink {
@@ -81,27 +96,43 @@ class LiveTransport {
     void BroadcastFill(const FillMsg& msg);
     void BroadcastEpochInstalled(const EpochInstalledMsg& msg);
 
-    // Drains up to `max` inbound messages, invoking handler(const WireMsg&)
-    // for each, then performs receive-side credit accounting.  Owning node's
-    // thread only.  Returns the number of messages processed.
+    // Drains up to `max_batches` inbound batches, invoking
+    // handler(NodeId src, const WireBody&) for each message after the
+    // receive-side run demux (consecutive same-key updates collapse to the
+    // newest; see coalescer.h), then performs per-message credit accounting.
+    // Owning node's thread only.  Returns the number of messages processed.
     template <typename Handler>
-    std::size_t Poll(std::size_t max, Handler&& handler) {
+    std::size_t Poll(std::size_t max_batches, Handler&& handler) {
       scratch_.clear();
-      inbox_.TryDrain(&scratch_, max);
-      for (const WireMsg& msg : scratch_) {
-        handler(msg);
-        if (!std::holds_alternative<AckMsg>(msg.body) &&
-            batcher_.OnReceived(msg.src)) {
-          // Return a credit batch to the sender (header-only message in the
-          // paper; an atomic add here).
-          transport_->endpoints_[msg.src]->returned_[self_].fetch_add(
-              batcher_.batch(), std::memory_order_release);
-          ++credit_returns_;
+      inbox_.TryDrain(&scratch_, max_batches);
+      UpdateRunDemux demux(&updates_collapsed_);
+      std::size_t processed = 0;
+      for (const WireBatch& batch : scratch_) {
+        for (const WireBody& body : batch.msgs) {
+          demux.OnMessage(batch.src, body, handler);
+          if (!std::holds_alternative<AckMsg>(body) &&
+              batcher_.OnReceived(batch.src)) {
+            // Return a credit batch to the sender (header-only message in the
+            // paper; an atomic add here).
+            transport_->endpoints_[batch.src]->returned_[self_].fetch_add(
+                batcher_.batch(), std::memory_order_release);
+            ++credit_returns_;
+          }
+          // A collapsed update may still be held by the demux here; it is
+          // applied before Poll returns, and updates trigger no sends, so a
+          // racing drain-phase inflight()==0 observation stays sound.
+          transport_->inflight_.fetch_sub(1, std::memory_order_acq_rel);
+          ++processed;
         }
-        transport_->inflight_.fetch_sub(1, std::memory_order_acq_rel);
       }
-      return scratch_.size();
+      demux.Flush(handler);
+      messages_received_ += processed;
+      return processed;
     }
+
+    // Ships every open batch (the host's op-boundary flush, or a test's
+    // explicit policy).  Owning node's thread only.
+    void FlushBatches(FlushCause cause);
 
     // Retries credit-parked broadcasts after harvesting returned credits.
     void FlushPending();
@@ -110,46 +141,59 @@ class LiveTransport {
     // throttle point, as in RackNode::AllPeersHaveBcastCredit).
     bool AllPeersHaveCredit();
 
-    // True when no broadcast is parked waiting for credits.
+    // True when no broadcast is parked waiting for credits and no message
+    // sits in an open batch.
     bool NothingPending() const;
 
-    // Sleeps until a message arrives or `timeout` elapses (idle backoff).
+    // Sleeps until a batch arrives or `timeout` elapses (idle backoff).
+    // Flushes open batches first when Config::coalesce_flush_on_idle is set,
+    // so no message can sleep inside a batch buffer.
     void WaitForTraffic(std::chrono::microseconds timeout);
 
-    std::uint64_t messages_received() const { return inbox_.pushes(); }
+    std::uint64_t messages_received() const { return messages_received_; }
+    std::uint64_t batches_received() const { return inbox_.pushes(); }
     std::uint64_t full_waits() const { return inbox_.full_waits(); }
+    std::uint64_t wakeups() const { return inbox_.wakeups(); }
     std::uint64_t credit_parks() const { return credit_parks_; }
     std::uint64_t updates_sent() const { return updates_sent_; }
     std::uint64_t invalidations_sent() const { return invalidations_sent_; }
     std::uint64_t acks_sent() const { return acks_sent_; }
     std::uint64_t credit_returns() const { return credit_returns_; }
     std::uint64_t epoch_msgs_sent() const { return epoch_msgs_sent_; }
+    std::uint64_t updates_collapsed() const { return updates_collapsed_; }
+    const SendCoalescer& coalescer() const { return coalescer_; }
 
    private:
     friend class LiveTransport;
 
-    void SendCredited(NodeId to, WireMsg msg);
+    void SendCredited(NodeId to, WireBody body);
     void HarvestCredits(NodeId peer);
-    void Deliver(NodeId to, WireMsg msg);
+    // Commits one message to delivery: counts it in flight, appends it to the
+    // peer's open batch, and ships the batch if it hit the size cap.
+    void Enqueue(NodeId to, WireBody body);
+    void DeliverBatch(NodeId to, WireBatch batch);
     template <typename T>
     void BroadcastCredited(const T& msg, std::uint64_t* counter);
 
     LiveTransport* transport_;
     NodeId self_;
-    MpscChannel<WireMsg> inbox_;
+    MpscChannel<WireBatch> inbox_;
+    SendCoalescer coalescer_;
     CreditPool bcast_credits_;      // sender side, per peer
     CreditUpdateBatcher batcher_;   // receiver side, per peer
     // Credits returned by each peer for the self->peer direction; written by
     // the peer's thread, harvested by ours.
     std::vector<std::atomic<int>> returned_;
-    std::vector<std::deque<WireMsg>> pending_;  // per peer, FIFO
-    std::vector<WireMsg> scratch_;              // Poll() batch buffer
+    std::vector<std::deque<WireBody>> pending_;  // per peer, FIFO
+    std::vector<WireBatch> scratch_;             // Poll() drain buffer
     std::uint64_t credit_parks_ = 0;
     std::uint64_t updates_sent_ = 0;
     std::uint64_t invalidations_sent_ = 0;
     std::uint64_t acks_sent_ = 0;
     std::uint64_t credit_returns_ = 0;
     std::uint64_t epoch_msgs_sent_ = 0;
+    std::uint64_t messages_received_ = 0;
+    std::uint64_t updates_collapsed_ = 0;
   };
 
   explicit LiveTransport(const Config& config);
@@ -159,7 +203,8 @@ class LiveTransport {
 
   // Messages enqueued but not yet fully processed (handler completed).  Zero
   // together with all-nodes-quiescent means the rack can produce no further
-  // work — the drain-phase exit condition.
+  // work — the drain-phase exit condition.  Counts messages (including those
+  // in open send batches), never batches.
   std::uint64_t inflight() const {
     return inflight_.load(std::memory_order_acquire);
   }

@@ -292,5 +292,65 @@ TEST(EpochCoordinator, DetectsPopularityShift) {
   EXPECT_NE(first, second);
 }
 
+// Drift-aware pacing: high churn halves the next epoch, churn ~0 doubles it,
+// and both directions respect their clamps.
+TEST(EpochCoordinator, AdaptivePacingTracksChurn) {
+  EpochCoordinatorConfig cfg;
+  cfg.hot_set_size = 8;
+  cfg.requests_per_epoch = 1'024;
+  cfg.sample_probability = 1.0;
+  cfg.adaptive = true;
+  cfg.min_requests_per_epoch = 256;
+  cfg.max_requests_per_epoch = 4'096;
+  EpochCoordinator coord(cfg);
+  EXPECT_EQ(coord.requests_per_epoch(), 1'024u);
+
+  // Fast drift: a stream of fresh keys every epoch churns the whole top-k,
+  // so the length halves per epoch and pins at the min clamp.
+  Key base = 0;
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    base += 1'000'000;
+    bool closed = false;
+    std::uint64_t i = 0;
+    while (!closed) {
+      closed = coord.OnRequest(base + static_cast<Key>(i++));
+    }
+  }
+  EXPECT_EQ(coord.requests_per_epoch(), 256u);
+
+  // Stable distribution: once the drift residue decays out of the summary
+  // (one transition epoch) churn drops to 0, the length doubles per epoch
+  // and pins at the max clamp.
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    bool closed = false;
+    std::uint64_t i = 0;
+    while (!closed) {
+      closed = coord.OnRequest(9'000'000 + static_cast<Key>(i++ % 8));
+    }
+  }
+  EXPECT_EQ(coord.last_epoch_churn(), 0u);
+  EXPECT_EQ(coord.requests_per_epoch(), 4'096u);
+}
+
+// The default clamps derive from the configured epoch length, so adaptivity
+// is safe to flip on without retuning.
+TEST(EpochCoordinator, AdaptivePacingDefaultClamps) {
+  EpochCoordinatorConfig cfg;
+  cfg.hot_set_size = 4;
+  cfg.requests_per_epoch = 800;
+  cfg.sample_probability = 1.0;
+  cfg.adaptive = true;
+  EpochCoordinator coord(cfg);
+  // Every epoch sees a fresh hot set: churn stays high, length dives.
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    bool closed = false;
+    while (!closed) {
+      closed = coord.OnRequest(static_cast<Key>(coord.epoch()) * 100 +
+                               static_cast<Key>(coord.epoch() % 4));
+    }
+  }
+  EXPECT_EQ(coord.requests_per_epoch(), 100u) << "clamped at requests/8";
+}
+
 }  // namespace
 }  // namespace cckvs

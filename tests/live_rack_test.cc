@@ -64,6 +64,17 @@ void ExpectHealthyRun(const LiveRackParams& p, const LiveReport& r) {
   EXPECT_LT(r.rack.hit_rate, 1.0);  // the keyspace tail misses
   // The credit sizing must have kept every channel below its bound.
   EXPECT_EQ(r.channel_full_waits, 0u);
+  // Transport invariants that hold with and without coalescing: the fabric
+  // drained completely, every sent message arrived, and a receiver was only
+  // ever woken by an actual push.
+  EXPECT_EQ(r.channel_batches, r.batches_sent);
+  EXPECT_LE(r.wakeups, r.channel_batches);
+  if (p.coalescing) {
+    EXPECT_GT(r.channel_messages, r.channel_batches)
+        << "coalescing on but no batch ever carried two messages";
+  } else {
+    EXPECT_EQ(r.channel_messages, r.channel_batches);
+  }
 }
 
 TEST(LiveRackTest, ScStressHistoriesAreSequentiallyConsistent) {
@@ -147,6 +158,66 @@ TEST(LiveRackTest, EpochChurnUnderDriftStaysConsistent) {
     const LiveReport r = rack.Run();
     ExpectHealthyRun(p, r);
     EXPECT_GT(r.rack.epochs, 1u) << "epochs must keep closing";
+    EXPECT_GT(r.epoch_msgs, 0u);
+    const std::string err = model == ConsistencyModel::kSc
+                                ? rack.history().CheckPerKeySequentialConsistency()
+                                : rack.history().CheckPerKeyLinearizability();
+    EXPECT_EQ(err, "") << "model=" << ToString(model);
+    EXPECT_EQ(rack.history().CheckWriteAtomicity(), "") << "model=" << ToString(model);
+  }
+}
+
+// The full stress matrix with transport coalescing on: batched channel
+// traffic must leave the sealed histories exactly as checker-clean as the
+// per-message fabric.  This is the TSan/ASan target for the coalescer — the
+// per-peer FIFO across batch boundaries and message-granular credits are
+// load-bearing here, not simulated.
+TEST(LiveRackTest, CoalescedStressStaysConsistent) {
+  for (const ConsistencyModel model :
+       {ConsistencyModel::kSc, ConsistencyModel::kLin}) {
+    LiveRackParams p = StressParams(model);
+    p.coalescing = true;
+    p.coalesce_max_batch = 8;
+    p.ops_per_node = OpsPerNode(150'000, 20'000);
+    p.seed = 17;
+    LiveRack rack(p);
+    const LiveReport r = rack.Run();
+    ExpectHealthyRun(p, r);
+    const std::string err = model == ConsistencyModel::kSc
+                                ? rack.history().CheckPerKeySequentialConsistency()
+                                : rack.history().CheckPerKeyLinearizability();
+    EXPECT_EQ(err, "") << "model=" << ToString(model);
+    EXPECT_EQ(rack.history().CheckWriteAtomicity(), "") << "model=" << ToString(model);
+    if (model == ConsistencyModel::kLin) {
+      EXPECT_EQ(r.rack.acks_sent, r.rack.invalidations_sent);
+    }
+  }
+}
+
+// Coalescing composed with the hot-set subsystem under drift: epoch traffic
+// (announce/fill/install barrier) rides the same batched lanes as the
+// protocol messages it must stay FIFO with.
+TEST(LiveRackTest, CoalescedEpochChurnUnderDriftStaysConsistent) {
+  for (const ConsistencyModel model :
+       {ConsistencyModel::kSc, ConsistencyModel::kLin}) {
+    LiveRackParams p = StressParams(model);
+    p.coalescing = true;
+    p.coalesce_max_batch = 16;
+    p.workload.keyspace = 8'192;
+    p.workload.drift_period_ops = 15'000;
+    p.workload.drift_rank_shift = 64;
+    p.cache_capacity = 256;
+    p.prefill_hot_set = false;
+    p.online_topk = true;
+    p.topk_epoch_requests = 5'000;
+    p.topk_sample_probability = 1.0;
+    p.topk_adaptive_epochs = true;  // drift-aware pacing rides along
+    p.ops_per_node = OpsPerNode(60'000, 15'000);
+    p.seed = 19;
+    LiveRack rack(p);
+    const LiveReport r = rack.Run();
+    ExpectHealthyRun(p, r);
+    EXPECT_GT(r.rack.epochs, 1u);
     EXPECT_GT(r.epoch_msgs, 0u);
     const std::string err = model == ConsistencyModel::kSc
                                 ? rack.history().CheckPerKeySequentialConsistency()

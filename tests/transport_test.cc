@@ -1,0 +1,372 @@
+// Transport batching invariants (runtime/coalescer.h + runtime/transport.h).
+//
+// The live rack's correctness rests on properties the coalescing subsystem
+// must not disturb: per-peer FIFO order across batch boundaries (the Lin
+// invalidation-then-update order and the install barrier both ride it),
+// per-message credit accounting (§6.3's bounds are about messages, not
+// packets), and a message-granular inflight() (the drain-phase exit
+// condition).  These tests drive endpoints directly from one thread — the
+// owning-thread contract only requires that calls are serialized, so a
+// single test thread may play every node in turn.
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/transport.h"
+
+namespace cckvs {
+namespace {
+
+LiveTransport::Config SmallConfig(int nodes, bool coalescing, int max_batch = 4) {
+  LiveTransport::Config c;
+  c.num_nodes = nodes;
+  c.bcast_credits_per_peer = 4;
+  c.credit_update_batch = 2;
+  c.channel_capacity = 256;
+  c.coalescing = coalescing;
+  c.coalesce_max_batch = max_batch;
+  return c;
+}
+
+UpdateMsg Upd(Key key, std::uint32_t clock, NodeId writer = 0) {
+  return UpdateMsg{key, "v" + std::to_string(clock), Timestamp{clock, writer}};
+}
+
+// Drains everything currently deliverable at `ep`, recording message order.
+struct Drained {
+  std::vector<Key> keys;
+  std::vector<Timestamp> update_ts;
+  std::size_t messages = 0;
+};
+
+Drained DrainAll(LiveTransport::Endpoint& ep) {
+  Drained d;
+  d.messages = ep.Poll(1024, [&d](NodeId, const WireBody& body) {
+    if (const auto* upd = std::get_if<UpdateMsg>(&body)) {
+      d.keys.push_back(upd->key);
+      d.update_ts.push_back(upd->ts);
+    } else if (const auto* inv = std::get_if<InvalidateMsg>(&body)) {
+      d.keys.push_back(inv->key);
+    } else if (const auto* ack = std::get_if<AckMsg>(&body)) {
+      d.keys.push_back(ack->key);
+    }
+  });
+  return d;
+}
+
+// --------------------------------------------------------------------------
+// SendCoalescer unit behaviour
+// --------------------------------------------------------------------------
+
+TEST(SendCoalescerTest, SizeCapClosesBatchesAndCausesAreCounted) {
+  CoalescerConfig cc;
+  cc.self = 0;
+  cc.num_peers = 2;
+  cc.enabled = true;
+  cc.max_batch = 3;
+  SendCoalescer co(cc);
+
+  EXPECT_FALSE(co.Append(1, WireBody{Upd(7, 1)}));
+  EXPECT_FALSE(co.Append(1, WireBody{Upd(7, 2)}));
+  EXPECT_TRUE(co.Append(1, WireBody{Upd(7, 3)}));  // hit the cap
+  WireBatch b = co.Take(1, FlushCause::kSize);
+  EXPECT_EQ(b.src, 0);
+  EXPECT_EQ(b.msgs.size(), 3u);
+  EXPECT_TRUE(co.AllEmpty());
+
+  co.Append(1, WireBody{Upd(8, 1)});
+  EXPECT_EQ(co.open_messages(), 1u);
+  EXPECT_EQ(co.Take(1, FlushCause::kBoundary).msgs.size(), 1u);
+  // Taking an empty batch records nothing.
+  EXPECT_TRUE(co.Take(1, FlushCause::kIdle).msgs.empty());
+
+  EXPECT_EQ(co.batches_sent(), 2u);
+  EXPECT_EQ(co.messages_sent(), 4u);
+  EXPECT_EQ(co.flushes(FlushCause::kSize), 1u);
+  EXPECT_EQ(co.flushes(FlushCause::kBoundary), 1u);
+  EXPECT_EQ(co.flushes(FlushCause::kIdle), 0u);
+  EXPECT_EQ(co.batch_sizes().count(), 2u);
+  EXPECT_EQ(co.batch_sizes().max(), 3u);
+}
+
+TEST(SendCoalescerTest, DisabledMeansEveryMessageClosesItsOwnBatch) {
+  CoalescerConfig cc;
+  cc.self = 0;
+  cc.num_peers = 2;
+  cc.enabled = false;
+  cc.max_batch = 16;  // ignored when disabled
+  SendCoalescer co(cc);
+  EXPECT_TRUE(co.Append(1, WireBody{Upd(1, 1)}));
+  EXPECT_EQ(co.Take(1, FlushCause::kSize).msgs.size(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// FIFO across batch boundaries
+// --------------------------------------------------------------------------
+
+TEST(TransportBatchingTest, PerPeerFifoAcrossBatchBoundaries) {
+  // max_batch 4 and 10 messages: two size-closed batches plus a boundary
+  // remainder — order must read 1..10 at the receiver regardless.
+  LiveTransport t(SmallConfig(2, /*coalescing=*/true, /*max_batch=*/4));
+  auto& ep0 = t.endpoint(0);
+  auto& ep1 = t.endpoint(1);
+
+  std::uint32_t clock = 0;
+  for (int i = 0; i < 3; ++i) {
+    ep0.BroadcastUpdate(Upd(42, ++clock));
+  }
+  ep0.FlushBatches(FlushCause::kBoundary);  // mid-stream boundary: batch of 3
+  for (int i = 0; i < 7; ++i) {
+    // Credits run dry at 4 outstanding; the rest park in the pending FIFO.
+    ep0.BroadcastUpdate(Upd(42, ++clock));
+  }
+  ep0.FlushBatches(FlushCause::kBoundary);
+
+  std::vector<Timestamp> seen;
+  while (seen.size() < 10) {
+    // A demux run would collapse consecutive same-key updates — poll one
+    // batch at a time is not enough to defeat that, so observe via ts order
+    // of what *is* forwarded plus credit-driven redelivery below.
+    const Drained d = DrainAll(ep1);
+    for (const Timestamp& ts : d.update_ts) {
+      seen.push_back(ts);
+    }
+    ep0.FlushPending();  // polled credits release parked messages
+    ep0.FlushBatches(FlushCause::kBoundary);
+    if (d.messages == 0 && ep0.NothingPending()) {
+      break;
+    }
+  }
+  // The run demux collapses same-key runs to their newest element, so the
+  // forwarded stream is a subsequence of 1..10 that must stay strictly
+  // increasing and end on the last message — any batch-boundary reorder
+  // would break monotonicity.
+  ASSERT_FALSE(seen.empty());
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_LT(seen[i - 1], seen[i]);
+  }
+  EXPECT_EQ(seen.back().clock, 10u);
+  EXPECT_EQ(t.inflight(), 0u);
+}
+
+TEST(TransportBatchingTest, DistinctKeysDeliverOneToOneInOrder) {
+  // Distinct keys defeat the run demux entirely: all 10 messages must arrive,
+  // in send order, across size-closed and boundary-closed batches.
+  LiveTransport t(SmallConfig(2, /*coalescing=*/true, /*max_batch=*/3));
+  auto& ep0 = t.endpoint(0);
+  auto& ep1 = t.endpoint(1);
+
+  std::vector<Key> sent;
+  std::vector<Key> seen;
+  std::uint32_t clock = 0;
+  int launched = 0;
+  while (launched < 10 || !ep0.NothingPending()) {
+    if (launched < 10) {
+      const Key key = 100 + static_cast<Key>(launched);
+      ep0.BroadcastUpdate(Upd(key, ++clock));
+      sent.push_back(key);
+      ++launched;
+    }
+    ep0.FlushPending();
+    ep0.FlushBatches(FlushCause::kBoundary);
+    const Drained d = DrainAll(ep1);
+    seen.insert(seen.end(), d.keys.begin(), d.keys.end());
+  }
+  ep0.FlushBatches(FlushCause::kBoundary);
+  const Drained d = DrainAll(ep1);
+  seen.insert(seen.end(), d.keys.begin(), d.keys.end());
+  EXPECT_EQ(seen, sent);
+  EXPECT_EQ(t.inflight(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Credit accounting stays per-message under batched delivery
+// --------------------------------------------------------------------------
+
+TEST(TransportBatchingTest, CreditAccountingExactUnderBatchedDelivery) {
+  const auto config = SmallConfig(2, /*coalescing=*/true, /*max_batch=*/8);
+  LiveTransport t(config);
+  auto& ep0 = t.endpoint(0);
+  auto& ep1 = t.endpoint(1);
+
+  // Send exactly the credit pool's worth: all four ride in ONE batch, yet
+  // four credits must be gone — per-message accounting, per-batch traffic.
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    ep0.BroadcastUpdate(Upd(200 + i, i));
+  }
+  EXPECT_FALSE(ep0.AllPeersHaveCredit());
+  ep0.FlushBatches(FlushCause::kBoundary);
+  EXPECT_EQ(ep1.batches_received(), 1u);
+
+  // A fifth message must park: the pool is empty even though the channel saw
+  // only one push.
+  ep0.BroadcastUpdate(Upd(205, 1));
+  EXPECT_EQ(ep0.credit_parks(), 1u);
+  EXPECT_FALSE(ep0.NothingPending());
+
+  // Receiver processes 4 messages; with credit_update_batch == 2 it returns
+  // two batches of 2 — all four credits come home and the parked message
+  // flows.
+  const Drained d = DrainAll(ep1);
+  EXPECT_EQ(d.messages, 4u);
+  EXPECT_EQ(ep1.credit_returns(), 2u);
+  ep0.FlushPending();
+  ep0.FlushBatches(FlushCause::kBoundary);
+  EXPECT_TRUE(ep0.NothingPending());
+  EXPECT_EQ(DrainAll(ep1).messages, 1u);
+  // 4 - 5 spent + 4 returned = 3 available.
+  EXPECT_TRUE(ep0.AllPeersHaveCredit());
+  EXPECT_EQ(t.inflight(), 0u);
+}
+
+TEST(TransportBatchingTest, AcksBypassCreditsButStillCoalesce) {
+  LiveTransport t(SmallConfig(2, /*coalescing=*/true, /*max_batch=*/8));
+  auto& ep0 = t.endpoint(0);
+  auto& ep1 = t.endpoint(1);
+
+  // Far more acks than the broadcast credit pool: none park, and they share
+  // one push after the boundary flush.
+  for (std::uint32_t i = 1; i <= 6; ++i) {
+    ep1.SendAck(0, AckMsg{300, Timestamp{i, 1}});
+  }
+  EXPECT_EQ(ep1.credit_parks(), 0u);
+  ep1.FlushBatches(FlushCause::kBoundary);
+  EXPECT_EQ(ep0.batches_received(), 1u);
+  EXPECT_EQ(DrainAll(ep0).messages, 6u);
+  EXPECT_EQ(ep1.acks_sent(), 6u);
+}
+
+// --------------------------------------------------------------------------
+// inflight() counts messages, never batches
+// --------------------------------------------------------------------------
+
+TEST(TransportBatchingTest, InflightCountsMessagesThroughBatchLifecycle) {
+  LiveTransport t(SmallConfig(3, /*coalescing=*/true, /*max_batch=*/8));
+  auto& ep0 = t.endpoint(0);
+
+  // Broadcast to two peers: 2 messages per call, still in open batches.
+  ep0.BroadcastUpdate(Upd(400, 1));
+  ep0.BroadcastUpdate(Upd(401, 2));
+  EXPECT_EQ(t.inflight(), 4u) << "open-batch messages are in flight";
+  EXPECT_FALSE(ep0.NothingPending());
+
+  ep0.FlushBatches(FlushCause::kBoundary);
+  EXPECT_EQ(t.inflight(), 4u) << "shipping a batch must not change the count";
+  EXPECT_TRUE(ep0.NothingPending());
+
+  EXPECT_EQ(DrainAll(t.endpoint(1)).messages, 2u);
+  EXPECT_EQ(t.inflight(), 2u);
+  EXPECT_EQ(DrainAll(t.endpoint(2)).messages, 2u);
+  EXPECT_EQ(t.inflight(), 0u) << "drain-phase exit condition";
+}
+
+// --------------------------------------------------------------------------
+// Flush-on-idle backstop
+// --------------------------------------------------------------------------
+
+TEST(TransportBatchingTest, WaitForTrafficFlushesOpenBatches) {
+  LiveTransport t(SmallConfig(2, /*coalescing=*/true, /*max_batch=*/8));
+  auto& ep0 = t.endpoint(0);
+  auto& ep1 = t.endpoint(1);
+
+  ep0.BroadcastUpdate(Upd(500, 1));
+  EXPECT_EQ(ep1.batches_received(), 0u);
+  // No boundary flush: the pre-sleep backstop must ship the batch.
+  ep0.WaitForTraffic(std::chrono::microseconds(1));
+  EXPECT_EQ(ep1.batches_received(), 1u);
+  EXPECT_EQ(ep0.coalescer().flushes(FlushCause::kIdle), 1u);
+  EXPECT_EQ(DrainAll(ep1).messages, 1u);
+  EXPECT_EQ(t.inflight(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Receive-side run demux
+// --------------------------------------------------------------------------
+
+TEST(TransportBatchingTest, ConsecutiveSameKeyUpdatesCollapseToNewest) {
+  LiveTransport t(SmallConfig(2, /*coalescing=*/true, /*max_batch=*/8));
+  auto& ep0 = t.endpoint(0);
+  auto& ep1 = t.endpoint(1);
+
+  ep0.BroadcastUpdate(Upd(600, 1));
+  ep0.BroadcastUpdate(Upd(600, 2));
+  ep0.BroadcastUpdate(Upd(600, 3));
+  ep0.BroadcastUpdate(Upd(601, 1));
+  ep0.FlushBatches(FlushCause::kBoundary);
+
+  const Drained d = DrainAll(ep1);
+  EXPECT_EQ(d.messages, 4u) << "accounting sees every message";
+  ASSERT_EQ(d.update_ts.size(), 2u) << "the engine sees one update per run";
+  EXPECT_EQ(d.keys, (std::vector<Key>{600, 601}));
+  EXPECT_EQ(d.update_ts[0].clock, 3u) << "a run forwards its newest element";
+  EXPECT_EQ(ep1.updates_collapsed(), 2u);
+  EXPECT_EQ(t.inflight(), 0u);
+}
+
+TEST(TransportBatchingTest, NonUpdateMessagesEndARunInOrder) {
+  LiveTransport t(SmallConfig(2, /*coalescing=*/true, /*max_batch=*/8));
+  auto& ep0 = t.endpoint(0);
+  auto& ep1 = t.endpoint(1);
+
+  ep0.BroadcastUpdate(Upd(700, 1));
+  ep0.BroadcastInvalidate(InvalidateMsg{700, Timestamp{2, 0}});
+  ep0.BroadcastUpdate(Upd(700, 2));
+  ep0.FlushBatches(FlushCause::kBoundary);
+
+  std::vector<std::string> order;
+  ep1.Poll(16, [&order](NodeId, const WireBody& body) {
+    if (std::holds_alternative<UpdateMsg>(body)) {
+      order.push_back("upd");
+    } else if (std::holds_alternative<InvalidateMsg>(body)) {
+      order.push_back("inv");
+    }
+  });
+  // The invalidation may not overtake the update before it, and the update
+  // after it starts a fresh run.
+  EXPECT_EQ(order, (std::vector<std::string>{"upd", "inv", "upd"}));
+  EXPECT_EQ(ep1.updates_collapsed(), 0u);
+}
+
+// --------------------------------------------------------------------------
+// Receiver wakeups
+// --------------------------------------------------------------------------
+
+TEST(TransportBatchingTest, NoWakeupsWithoutAParkedConsumer) {
+  LiveTransport t(SmallConfig(2, /*coalescing=*/true, /*max_batch=*/8));
+  auto& ep0 = t.endpoint(0);
+  for (std::uint32_t i = 1; i <= 3; ++i) {
+    ep0.BroadcastUpdate(Upd(800 + i, i));
+  }
+  ep0.FlushBatches(FlushCause::kBoundary);
+  EXPECT_EQ(t.endpoint(1).wakeups(), 0u)
+      << "pushes with no sleeping receiver must skip the notify";
+  DrainAll(t.endpoint(1));
+}
+
+TEST(TransportBatchingTest, OneBatchWakesASleepingReceiverOnce) {
+  LiveTransport t(SmallConfig(2, /*coalescing=*/true, /*max_batch=*/8));
+  auto& ep0 = t.endpoint(0);
+  auto& ep1 = t.endpoint(1);
+
+  std::thread sleeper([&ep1] {
+    // Long timeout: only a producer wakeup ends this early.
+    ep1.WaitForTraffic(std::chrono::seconds(10));
+  });
+  // Give the sleeper time to park, then ship one batch of three messages.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  for (std::uint32_t i = 1; i <= 3; ++i) {
+    ep0.BroadcastUpdate(Upd(900 + i, i));
+  }
+  ep0.FlushBatches(FlushCause::kBoundary);
+  sleeper.join();
+  EXPECT_EQ(ep1.wakeups(), 1u) << "N coalesced messages, one wakeup";
+  EXPECT_EQ(DrainAll(ep1).messages, 3u);
+}
+
+}  // namespace
+}  // namespace cckvs

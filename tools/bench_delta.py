@@ -44,10 +44,20 @@ def load_dir(path):
             meta, entries = {}, doc
         else:
             meta, entries = doc.get("meta", {}), doc.get("entries", [])
-        out[name] = {
-            "meta": meta,
-            "entries": {e["label"]: e for e in entries if "label" in e},
-        }
+        # Repeated labels (e.g. one bench sweeping a knob like coalescing
+        # on/off without labelling the configs) must stay distinct rows, not
+        # collapse onto the last occurrence: suffix repeats positionally so
+        # baseline and current match up pairwise.
+        by_label = {}
+        for e in entries:
+            if "label" not in e:
+                continue
+            label, n = e["label"], 2
+            while label in by_label:
+                label = f"{e['label']} #{n}"
+                n += 1
+            by_label[label] = e
+        out[name] = {"meta": meta, "entries": by_label}
     return out
 
 
