@@ -234,6 +234,7 @@ inline std::vector<std::pair<std::string, double>> LiveReportFields(
   fields.emplace_back("flushes_size", static_cast<double>(r.flushes_size));
   fields.emplace_back("flushes_boundary", static_cast<double>(r.flushes_boundary));
   fields.emplace_back("flushes_idle", static_cast<double>(r.flushes_idle));
+  fields.emplace_back("flushes_deadline", static_cast<double>(r.flushes_deadline));
   fields.emplace_back("updates_collapsed",
                       static_cast<double>(r.updates_collapsed));
   fields.emplace_back("avg_batch_size", r.batch_sizes.count() == 0

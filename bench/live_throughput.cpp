@@ -98,6 +98,31 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (run_on) {
+    // Deadline-based flush sweep (ROADMAP "adaptive coalescing flush"): hold
+    // sub-cap batches up to N µs past the op boundary.  Expect avg batch size
+    // to grow with the deadline while Mops/s trades against op latency.
+    PrintHeaderRule();
+    std::printf("deadline-flush sweep (SC, coalescing on; 0 = flush every boundary):\n");
+    std::printf("%-12s %12s %10s %10s %12s %12s\n", "deadline_us", "live Mops/s",
+                "avg B", "p99 us", "fl_deadline", "fl_boundary");
+    for (const std::uint64_t deadline_us : {0ull, 5ull, 20ull, 50ull}) {
+      LiveRackParams lp = LiveCoalescingRack(ConsistencyModel::kSc, true, ops);
+      lp.coalesce_flush_deadline_us = deadline_us;
+      char label[96];
+      std::snprintf(label, sizeof(label),
+                    "live ccKVS/SC coalescing=on deadline_us=%llu",
+                    static_cast<unsigned long long>(deadline_us));
+      const LiveReport lr = RunLive(lp, label);
+      std::printf("%-12llu %12.2f %10.1f %10.1f %12llu %12llu\n",
+                  static_cast<unsigned long long>(deadline_us), lr.rack.mrps,
+                  lr.batch_sizes.count() == 0 ? 0.0 : lr.batch_sizes.Mean(),
+                  lr.rack.p99_latency_us,
+                  static_cast<unsigned long long>(lr.flushes_deadline),
+                  static_cast<unsigned long long>(lr.flushes_boundary));
+    }
+  }
+
   PrintHeaderRule();
   if (run_off && run_on) {
     std::printf("coalescing speedup: SC %.2fx, Lin %.2fx (sim predicts both gain;\n"

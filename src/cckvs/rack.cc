@@ -36,7 +36,7 @@ constexpr std::uint32_t kCoalesceFramingBytes = 2;
 // RackNode
 // ===========================================================================
 
-class RackNode final : public MessageSink {
+class RackNode final : public MessageSink, public HotSetHost {
  public:
   RackNode(RackSimulation* rack, NodeId id);
 
@@ -51,10 +51,16 @@ class RackNode final : public MessageSink {
   void BroadcastInvalidate(const InvalidateMsg& msg) override;
   void SendAck(NodeId to, const AckMsg& msg) override;
 
+  // --- HotSetHost (called by the shared transition machine in topk/) ---
+  void ApplyWriteback(const SymmetricCache::Eviction& ev) override;
+  FillSnapshot GateAndSnapshot(Key key) override;
+  void PublishFills(const std::vector<FillMsg>& fills) override;
+  void PublishInstalled(const EpochInstalledMsg& msg) override;
+  void LiftGate(Key key) override;
+
   // --- Epoch machinery (delegates membership to the HotSetManager) ---
   void AnnounceHotSet(const HotSetAnnounceMsg& msg);  // coordinator only
   void ApplyAnnounce(const HotSetAnnounceMsg& msg);
-  void HandleTransition(HotSetManager::Transition t);
   void MaybeRetryDeferred();
   // Posts `body` to every peer on the control QP; returns the send CPU cost.
   SimTime BroadcastControl(std::shared_ptr<const Buffer> body, TrafficClass cls,
@@ -127,12 +133,16 @@ class RackNode final : public MessageSink {
   int KvsThreadFor(Key key) const;
   ServicePool& KvsPoolFor(Key key);
   Partition& PartitionFor(Key key);
-  RpcResponse ExecuteKvsOp(const RpcRequest& req);
   // Home-side execution: if the key is hot at this (home) node, the operation
-  // serializes through the home cache and its consistency protocol instead of
-  // bypassing it into the shard (keeps epoch transitions convergent).
+  // serializes through the home cache and its consistency protocol; otherwise
+  // it goes to the shard through the residency gate (the live rack's
+  // MarkCacheResident/TryPut gate): ops hitting a gated record park until the
+  // install barrier settles the key or an epoch re-admits it.
   void ExecuteKvsOpAsync(const RpcRequest& req,
                          std::function<void(const RpcResponse&)> respond);
+  // Re-routes parked shard ops whose key became serviceable (gate lifted, or
+  // the key re-entered this node's cache).
+  void RetryGatedShardOps();
 
   // RPC path.
   void StartRpc(std::uint32_t slot, NodeId home);
@@ -186,6 +196,14 @@ class RackNode final : public MessageSink {
   Rng rng_;
   std::vector<OpState> ops_;
   std::vector<std::uint32_t> free_slots_;
+
+  // KVS ops (local misses and incoming RPCs) parked on the shard residency
+  // gate during an epoch transition; re-routed by RetryGatedShardOps.
+  struct ParkedShardOp {
+    RpcRequest req;
+    std::function<void(const RpcResponse&)> respond;
+  };
+  std::deque<ParkedShardOp> parked_gated_;
 
   std::vector<std::deque<std::uint32_t>> pending_rpc_;
   std::vector<std::deque<PendingBcast>> pending_bcast_;
@@ -269,7 +287,8 @@ RackNode::RackNode(RackSimulation* rack, NodeId id)
     hc.epoch.seed = p.seed ^ 0x70cull;
     hc.epoch.adaptive = p.topk_adaptive_epochs;
     hc.home_of = [rack](Key key) { return rack->HomeOf(key); };
-    hot_mgr_ = std::make_unique<HotSetManager>(hc, cache_.get(), engine_.get());
+    hot_mgr_ =
+        std::make_unique<HotSetManager>(hc, cache_.get(), engine_.get(), this);
   }
 
   // RDMA endpoint and QPs.
@@ -328,6 +347,16 @@ void RackNode::PrefillHotSet(const std::vector<Key>& hot_keys) {
   for (const Key key : hot_keys) {
     cache_->Fill(key, SynthesizeValue(key, params().workload.value_bytes),
                  Timestamp{0, 0});
+  }
+  if (hot_mgr_ != nullptr) {
+    // Epochs will manage membership from here on: raise the shard residency
+    // gate of every prefilled key homed here, exactly as an epoch admission
+    // would have (the same bracket the live rack sets in its constructor).
+    for (const Key key : hot_keys) {
+      if (rack_->HomeOf(key) == id_) {
+        PartitionFor(key).MarkCacheResident(key);
+      }
+    }
   }
   if (hot_mgr_ != nullptr && hot_mgr_->coordinator()) {
     // Keys the first epoch drops from the oracle set must settle like any
@@ -505,19 +534,6 @@ Partition& RackNode::PartitionFor(Key key) {
   return *partitions_[static_cast<std::size_t>(KvsThreadFor(key))];
 }
 
-RpcResponse RackNode::ExecuteKvsOp(const RpcRequest& req) {
-  RpcResponse resp;
-  resp.op_id = req.op_id;
-  Partition& part = PartitionFor(req.key);
-  if (req.op == OpType::kGet) {
-    const bool ok = part.Get(req.key, &resp.value, &resp.ts);
-    CCKVS_CHECK(ok);  // the synthesizer guarantees every GET succeeds
-  } else {
-    resp.ts = part.Put(req.key, req.value);
-  }
-  return resp;
-}
-
 void RackNode::ExecuteKvsOpAsync(const RpcRequest& req,
                                  std::function<void(const RpcResponse&)> respond) {
   if (cache_ != nullptr && cache_->Find(req.key) != nullptr) {
@@ -546,7 +562,49 @@ void RackNode::ExecuteKvsOpAsync(const RpcRequest& req,
     });
     return;
   }
-  respond(ExecuteKvsOp(req));
+  // Shard path, through the residency gate (same gate the live rack's direct
+  // miss path uses): a record still owned by a hot-set era — evicted here but
+  // not yet settled rack-wide — parks the op until the install barrier lifts
+  // the gate or an epoch re-admits the key into this cache.
+  Partition& part = PartitionFor(req.key);
+  RpcResponse resp;
+  resp.op_id = req.op_id;
+  if (req.op == OpType::kGet) {
+    bool resident = false;
+    const bool ok = part.Get(req.key, &resp.value, &resp.ts, &resident);
+    CCKVS_CHECK(ok);  // the synthesizer guarantees every GET succeeds
+    if (resident) {
+      parked_gated_.push_back(ParkedShardOp{req, std::move(respond)});
+      return;
+    }
+  } else {
+    if (!part.TryPut(req.key, req.value, &resp.ts)) {
+      parked_gated_.push_back(ParkedShardOp{req, std::move(respond)});
+      return;
+    }
+  }
+  respond(resp);
+}
+
+void RackNode::RetryGatedShardOps() {
+  if (parked_gated_.empty()) {
+    return;
+  }
+  std::deque<ParkedShardOp> parked;
+  parked.swap(parked_gated_);
+  const RackParams& p = params();
+  for (ParkedShardOp& op : parked) {
+    const bool cached = cache_ != nullptr && cache_->Find(op.req.key) != nullptr;
+    if (!cached && hot_mgr_ != nullptr && hot_mgr_->ShardGated(op.req.key)) {
+      parked_gated_.push_back(std::move(op));  // still waiting on the barrier
+      continue;
+    }
+    KvsPoolFor(op.req.key)
+        .Submit(p.cpu.kvs_op_ns, [this, req = op.req,
+                                  respond = std::move(op.respond)]() mutable {
+          ExecuteKvsOpAsync(req, std::move(respond));
+        });
+  }
 }
 
 std::uint32_t RackNode::RequestPayloadBytes(const Op& op) const {
@@ -919,6 +977,11 @@ void RackNode::OnConsistencyRecv(const Datagram& dg) {
           // The key churned out of the hot set mid-write: complete the
           // write-back directly into the home shard.
           PartitionFor(msg.key).Apply(msg.key, msg.value, msg.ts);
+        } else if (hot_mgr_ != nullptr) {
+          // Uncached and homed elsewhere: our membership lags an announce in
+          // flight.  Remember the update so a stashed fill cannot resurrect
+          // an older value (hot_set_manager.h, fill-vs-announce race).
+          hot_mgr_->NoteUncachedUpdate(msg.key, msg.value, msg.ts);
         }
         MaybeSendCreditUpdate(dg.src);
         MaybeRetryDeferred();
@@ -928,6 +991,9 @@ void RackNode::OnConsistencyRecv(const Datagram& dg) {
     case TrafficClass::kInvalidation: {
       workers_->Submit(p.cpu.inv_apply_ns, [this, dg] {
         const InvalidateMsg msg = DeserializeInvalidate(*dg.body);
+        if (hot_mgr_ != nullptr && cache_->Find(msg.key) == nullptr) {
+          hot_mgr_->NoteUncachedInvalidate(msg.key, msg.ts);
+        }
         engine_->OnInvalidate(dg.src, msg);  // acks unconditionally, even if cold
         MaybeSendCreditUpdate(dg.src);
       });
@@ -1008,36 +1074,33 @@ void RackNode::ApplyAnnounce(const HotSetAnnounceMsg& msg) {
   if (hot_mgr_ == nullptr) {
     return;
   }
-  HandleTransition(hot_mgr_->Apply(msg));
+  hot_mgr_->DriveAnnounce(msg);  // executes the transition via the hooks below
+  RetryGatedShardOps();          // a re-admission may have unparked shard ops
 }
 
 void RackNode::MaybeRetryDeferred() {
   if (hot_mgr_ != nullptr && hot_mgr_->HasDeferred()) {
-    HandleTransition(hot_mgr_->RetryDeferred());
+    hot_mgr_->DriveDeferred();
+    RetryGatedShardOps();
   }
 }
 
-void RackNode::HandleTransition(HotSetManager::Transition t) {
+// --- HotSetHost hooks: the sim half of the shared transition machine ---
+
+void RackNode::ApplyWriteback(const SymmetricCache::Eviction& ev) {
+  // §4: "only the node containing the shard with the evicted key needs to ...
+  // update the underlying KVS"; symmetric contents make the local copy
+  // sufficient.
+  PartitionFor(ev.key).Apply(ev.key, ev.value, ev.ts);
+}
+
+RackNode::FillSnapshot RackNode::GateAndSnapshot(Key key) {
+  const Partition::ResidentSnapshot snap = PartitionFor(key).MarkCacheResident(key);
+  return FillSnapshot{snap.value, snap.ts};
+}
+
+void RackNode::PublishFills(const std::vector<FillMsg>& fills) {
   const RackParams& p = params();
-  // Write-back: flush dirty evictions whose shard lives here (§4: "only the
-  // node containing the shard with the evicted key needs to ... update the
-  // underlying KVS").  Symmetric contents make the local copy sufficient.
-  for (const auto& ev : t.home_writebacks) {
-    PartitionFor(ev.key).Apply(ev.key, ev.value, ev.ts);
-  }
-  // Fill newly admitted keys homed here, locally and at every peer.
-  std::vector<FillMsg> fills;
-  for (const Key key : t.fill_duties) {
-    FillMsg f;
-    f.key = key;
-    f.epoch = hot_mgr_->target_epoch();
-    Timestamp ts;
-    PartitionFor(key).Get(key, &f.value, &ts);
-    f.ts = ts;
-    hot_mgr_->ApplyFill(f);
-    fills.push_back(std::move(f));
-  }
-  // Ship fills in chunks.
   constexpr std::size_t kChunk = 32;
   for (std::size_t base = 0; base < fills.size(); base += kChunk) {
     const std::size_t count = std::min(kChunk, fills.size() - base);
@@ -1053,15 +1116,17 @@ void RackNode::HandleTransition(HotSetManager::Transition t) {
         BroadcastControl(std::move(body), TrafficClass::kCacheFill, payload);
     workers_->Submit(cpu, nullptr);
   }
-  // Install barrier: tell the rack this node finished the epoch.  The sim's
-  // miss path serializes through the home node's cache, so `ungated` needs no
-  // action here (the live runtime clears its shard residency gate instead).
-  if (t.installed_advanced) {
-    auto body = std::make_shared<Buffer>();
-    SerializeEpochInstalled(EpochInstalledMsg{t.installed_epoch}, body.get());
-    const SimTime cpu = BroadcastControl(std::move(body), TrafficClass::kControl);
-    workers_->Submit(cpu, nullptr);
-  }
+}
+
+void RackNode::PublishInstalled(const EpochInstalledMsg& msg) {
+  auto body = std::make_shared<Buffer>();
+  SerializeEpochInstalled(msg, body.get());
+  const SimTime cpu = BroadcastControl(std::move(body), TrafficClass::kControl);
+  workers_->Submit(cpu, nullptr);
+}
+
+void RackNode::LiftGate(Key key) {
+  PartitionFor(key).ClearCacheResident(key);
 }
 
 void RackNode::OnControlRecv(const Datagram& dg) {
@@ -1070,12 +1135,19 @@ void RackNode::OnControlRecv(const Datagram& dg) {
     if (PeekControlTag(*dg.body) == kCtrlTagHotSet) {
       workers_->Submit(200, [this, dg] { ApplyAnnounce(DeserializeHotSet(*dg.body)); });
     } else {
-      workers_->Submit(params().cpu.credit_handle_ns, [this, dg] {
+      // Barrier confirmations ride the same FIFO fabric lanes as the sender's
+      // pre-install updates, and the worker pool starts jobs in delivery
+      // order.  Processing a confirmation at (at least) the update-apply cost
+      // makes it also *finish* after every earlier-delivered update has been
+      // applied, so a lifted gate can never expose a shard read to a value
+      // the barrier was waiting to drain.
+      workers_->Submit(params().cpu.upd_apply_ns, [this, dg] {
         if (hot_mgr_ == nullptr) {
           return;
         }
         const EpochInstalledMsg msg = DeserializeEpochInstalled(*dg.body);
-        hot_mgr_->OnPeerInstalled(dg.src, msg.epoch);
+        hot_mgr_->DrivePeerInstalled(dg.src, msg.epoch);
+        RetryGatedShardOps();  // lifted gates release parked shard ops
       });
     }
     return;
@@ -1092,7 +1164,8 @@ void RackNode::HandleFills(const Datagram& dg) {
     for (const FillMsg& f : DeserializeFills(*dg.body)) {
       hot_mgr_->ApplyFill(f);
     }
-    MaybeRetryDeferred();  // fills may have released reader-parked evictions
+    MaybeRetryDeferred();   // fills may have released reader-parked evictions
+    RetryGatedShardOps();   // a filled key now serves parked ops via the cache
   });
 }
 

@@ -1,5 +1,7 @@
 #include "src/runtime/coalescer.h"
 
+#include <limits>
+
 #include "src/common/check.h"
 
 namespace cckvs {
@@ -7,9 +9,13 @@ namespace cckvs {
 SendCoalescer::SendCoalescer(const CoalescerConfig& config)
     : config_(config),
       effective_max_(config.enabled ? config.max_batch : 1),
-      open_(static_cast<std::size_t>(config.num_peers)) {
+      open_(static_cast<std::size_t>(config.num_peers)),
+      open_since_ns_(static_cast<std::size_t>(config.num_peers), 0) {
   CCKVS_CHECK_GE(config.num_peers, 1);
   CCKVS_CHECK_GE(effective_max_, 1);
+  if (config_.flush_deadline_ns > 0) {
+    CCKVS_CHECK(config_.now_ns != nullptr);
+  }
   for (WireBatch& b : open_) {
     b.src = config_.self;
   }
@@ -18,8 +24,43 @@ SendCoalescer::SendCoalescer(const CoalescerConfig& config)
 bool SendCoalescer::Append(NodeId to, WireBody body) {
   CCKVS_DCHECK(to != config_.self);
   WireBatch& batch = open_[to];
+  if (batch.msgs.empty() && deadline_enabled()) {
+    open_since_ns_[to] = config_.now_ns();
+  }
   batch.msgs.push_back(std::move(body));
   return batch.msgs.size() >= static_cast<std::size_t>(effective_max_);
+}
+
+bool SendCoalescer::DeadlineExpired(NodeId to) const {
+  if (!deadline_enabled() || open_[to].msgs.empty()) {
+    return false;
+  }
+  return DeadlineExpired(to, config_.now_ns());
+}
+
+bool SendCoalescer::DeadlineExpired(NodeId to, std::uint64_t now) const {
+  if (!deadline_enabled() || open_[to].msgs.empty()) {
+    return false;
+  }
+  return now - open_since_ns_[to] >= config_.flush_deadline_ns;
+}
+
+std::uint64_t SendCoalescer::MinRemainingNs() const {
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  if (!deadline_enabled()) {
+    return best;
+  }
+  const std::uint64_t now = config_.now_ns();
+  for (std::size_t to = 0; to < open_.size(); ++to) {
+    if (open_[to].msgs.empty()) {
+      continue;
+    }
+    const std::uint64_t age = now - open_since_ns_[to];
+    best = std::min(best, age >= config_.flush_deadline_ns
+                              ? 0
+                              : config_.flush_deadline_ns - age);
+  }
+  return best;
 }
 
 WireBatch SendCoalescer::Take(NodeId to, FlushCause cause) {

@@ -48,6 +48,7 @@
 #define CCKVS_RUNTIME_COALESCER_H_
 
 #include <cstdint>
+#include <functional>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -77,6 +78,7 @@ enum class FlushCause : std::uint8_t {
   kSize = 0,   // open batch reached max_batch
   kBoundary,   // host run-loop iteration ended (op boundary)
   kIdle,       // endpoint about to sleep; backstop flush
+  kDeadline,   // sub-cap batch held to the flush deadline, which expired
   kNumCauses,
 };
 
@@ -88,6 +90,8 @@ inline const char* ToString(FlushCause c) {
       return "boundary";
     case FlushCause::kIdle:
       return "idle";
+    case FlushCause::kDeadline:
+      return "deadline";
     case FlushCause::kNumCauses:
       break;
   }
@@ -99,6 +103,14 @@ struct CoalescerConfig {
   int num_peers = 0; // peer id space (self's slot stays unused)
   bool enabled = false;
   int max_batch = 16;  // mirrors RackParams::coalesce_max_batch
+  // Deadline-based flush (the live analogue of the sim's coalesce_window_ns):
+  // when > 0, boundary flushes HOLD sub-cap batches until they have been open
+  // this long, trading bounded extra latency for fatter batches.  Size-cap
+  // flushes still fire immediately, and the pre-sleep idle path flushes
+  // expired batches while capping the sleep to the earliest open deadline.
+  std::uint64_t flush_deadline_ns = 0;
+  // Monotonic clock, injectable for tests; required when flush_deadline_ns>0.
+  std::function<std::uint64_t()> now_ns;
 };
 
 // Per-peer send-side batch buffers.  Single-threaded: only the owning node's
@@ -121,6 +133,17 @@ class SendCoalescer {
   // Messages sitting in open batches (committed to delivery, not yet pushed).
   std::size_t open_messages() const;
 
+  // --- deadline policy ---
+  bool deadline_enabled() const { return config_.flush_deadline_ns > 0; }
+  // True when the open batch for `to` has been held past the flush deadline.
+  // The `now` overload lets a flush pass read the clock once for all peers.
+  bool DeadlineExpired(NodeId to) const;
+  bool DeadlineExpired(NodeId to, std::uint64_t now) const;
+  std::uint64_t now_ns() const { return config_.now_ns(); }
+  // Nanoseconds until the earliest open batch expires (0 when one already
+  // has; max() when nothing is open).  For capping the pre-sleep wait.
+  std::uint64_t MinRemainingNs() const;
+
   // --- observability (LiveReport / bench plumbing) ---
   std::uint64_t batches_sent() const { return batches_sent_; }
   std::uint64_t messages_sent() const { return messages_sent_; }
@@ -133,6 +156,7 @@ class SendCoalescer {
   CoalescerConfig config_;
   int effective_max_;  // 1 when disabled: every message closes its own batch
   std::vector<WireBatch> open_;  // indexed by peer id
+  std::vector<std::uint64_t> open_since_ns_;  // first-append stamp per peer
   std::uint64_t batches_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t flushes_[static_cast<std::size_t>(FlushCause::kNumCauses)] = {};

@@ -49,7 +49,8 @@ LiveNode::LiveNode(LiveRack* rack, NodeId id, WorkloadGenerator gen)
     hc.epoch.seed = p.seed ^ 0x70cull;
     hc.epoch.adaptive = p.topk_adaptive_epochs;
     hc.home_of = [rack](Key key) { return rack->HomeOf(key); };
-    hot_mgr_ = std::make_unique<HotSetManager>(hc, cache_.get(), engine_.get());
+    hot_mgr_ = std::make_unique<HotSetManager>(hc, cache_.get(), engine_.get(),
+                                               static_cast<HotSetHost*>(this));
   }
 
   sessions_.resize(static_cast<std::size_t>(p.window_per_node));
@@ -137,14 +138,22 @@ std::size_t LiveNode::PollInbound(std::size_t max) {
         // Key not cached here (possible once hot sets churn): complete the
         // write-back directly into the home shard, as the simulator does.
         partition_->Apply(upd->key, upd->value, upd->ts);
+      } else if (hot_mgr_ != nullptr) {
+        // Uncached and homed elsewhere: our membership lags an announce in
+        // flight.  Remember the update so a stashed fill cannot resurrect an
+        // older value (hot_set_manager.h, fill-vs-announce race).
+        hot_mgr_->NoteUncachedUpdate(upd->key, upd->value, upd->ts);
       }
     } else if (const auto* inv = std::get_if<InvalidateMsg>(&body)) {
+      if (hot_mgr_ != nullptr && cache_->Find(inv->key) == nullptr) {
+        hot_mgr_->NoteUncachedInvalidate(inv->key, inv->ts);
+      }
       engine_->OnInvalidate(src, *inv);  // acks unconditionally
     } else if (const auto* ack = std::get_if<AckMsg>(&body)) {
       engine_->OnAck(src, *ack);
     } else if (const auto* hot = std::get_if<HotSetAnnounceMsg>(&body)) {
       if (hot_mgr_ != nullptr) {
-        HandleTransition(hot_mgr_->Apply(*hot));
+        hot_mgr_->DriveAnnounce(*hot);
       }
     } else if (const auto* fill = std::get_if<FillMsg>(&body)) {
       if (hot_mgr_ != nullptr) {
@@ -153,40 +162,41 @@ std::size_t LiveNode::PollInbound(std::size_t max) {
     } else {
       const auto& installed = std::get<EpochInstalledMsg>(body);
       if (hot_mgr_ != nullptr) {
-        LiftGates(hot_mgr_->OnPeerInstalled(src, installed.epoch));
+        hot_mgr_->DrivePeerInstalled(src, installed.epoch);
       }
     }
   });
 }
 
-void LiveNode::HandleTransition(HotSetManager::Transition t) {
-  for (const auto& ev : t.home_writebacks) {
-    partition_->Apply(ev.key, ev.value, ev.ts);
-  }
-  for (const Key key : t.fill_duties) {
-    // Raise the shard residency gate and snapshot the fill atomically: any
-    // direct shard write lands entirely before the snapshot or is refused
-    // after it, so the cache era starts from an authoritative value.
-    const Partition::ResidentSnapshot snap = partition_->MarkCacheResident(key);
-    FillMsg fill{key, snap.value, snap.ts, hot_mgr_->target_epoch()};
-    hot_mgr_->ApplyFill(fill);
-    ep_->BroadcastFill(fill);
-  }
-  if (t.installed_advanced) {
-    ep_->BroadcastEpochInstalled(EpochInstalledMsg{t.installed_epoch});
-  }
-  LiftGates(t.ungated);
+// --- HotSetHost hooks: the live half of the shared transition machine ---
+
+void LiveNode::ApplyWriteback(const SymmetricCache::Eviction& ev) {
+  partition_->Apply(ev.key, ev.value, ev.ts);
 }
 
-void LiveNode::LiftGates(const std::vector<Key>& keys) {
-  for (const Key key : keys) {
-    partition_->ClearCacheResident(key);
+LiveNode::FillSnapshot LiveNode::GateAndSnapshot(Key key) {
+  // Raise the shard residency gate and snapshot the fill atomically: any
+  // direct shard write lands entirely before the snapshot or is refused
+  // after it, so the cache era starts from an authoritative value.
+  const Partition::ResidentSnapshot snap = partition_->MarkCacheResident(key);
+  return FillSnapshot{snap.value, snap.ts};
+}
+
+void LiveNode::PublishFills(const std::vector<FillMsg>& fills) {
+  for (const FillMsg& fill : fills) {
+    ep_->BroadcastFill(fill);
   }
 }
+
+void LiveNode::PublishInstalled(const EpochInstalledMsg& msg) {
+  ep_->BroadcastEpochInstalled(msg);
+}
+
+void LiveNode::LiftGate(Key key) { partition_->ClearCacheResident(key); }
 
 void LiveNode::MaybeRetryDeferred() {
   if (hot_mgr_ != nullptr && hot_mgr_->HasDeferred()) {
-    HandleTransition(hot_mgr_->RetryDeferred());
+    hot_mgr_->DriveDeferred();
   }
 }
 
@@ -231,9 +241,9 @@ void LiveNode::IssueOp(std::uint32_t slot) {
   --idle_sessions_;
   if (hot_mgr_ != nullptr && hot_mgr_->coordinator() &&
       hot_mgr_->Sample(sess.op.key)) {
-    const HotSetAnnounceMsg& ann = hot_mgr_->announcement();
+    const HotSetAnnounceMsg ann = hot_mgr_->announcement();
     ep_->BroadcastHotSet(ann);
-    HandleTransition(hot_mgr_->Apply(ann));
+    hot_mgr_->DriveAnnounce(ann);
   }
   RouteOp(slot);
 }

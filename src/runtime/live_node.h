@@ -37,7 +37,7 @@ namespace cckvs {
 
 class LiveRack;
 
-class LiveNode {
+class LiveNode final : private HotSetHost {
  public:
   LiveNode(LiveRack* rack, NodeId id, WorkloadGenerator gen);
   LiveNode(const LiveNode&) = delete;
@@ -96,8 +96,14 @@ class LiveNode {
   SimTime NowTs();
 
   // --- hot-set subsystem (online_topk runs) ---
-  void HandleTransition(HotSetManager::Transition t);
-  void LiftGates(const std::vector<Key>& keys);
+  // HotSetHost: the live half of the shared transition machine in topk/.
+  // The manager drives write-backs, gate+fill snapshots, publication and gate
+  // lifts through these; parked shard ops are retried by the run loop.
+  void ApplyWriteback(const SymmetricCache::Eviction& ev) override;
+  FillSnapshot GateAndSnapshot(Key key) override;
+  void PublishFills(const std::vector<FillMsg>& fills) override;
+  void PublishInstalled(const EpochInstalledMsg& msg) override;
+  void LiftGate(Key key) override;
   void MaybeRetryDeferred();
 
   LiveRack* rack_;

@@ -27,6 +27,7 @@ LiveTransport::Config TransportConfig(const LiveRackParams& p) {
   c.coalescing = p.coalescing;
   c.coalesce_max_batch = p.coalesce_max_batch;
   c.coalesce_flush_on_idle = p.coalesce_flush_on_idle;
+  c.coalesce_flush_deadline_us = p.coalesce_flush_deadline_us;
   return c;
 }
 
@@ -127,6 +128,7 @@ LiveReport LiveRack::Run() {
     report.flushes_size += ep.coalescer().flushes(FlushCause::kSize);
     report.flushes_boundary += ep.coalescer().flushes(FlushCause::kBoundary);
     report.flushes_idle += ep.coalescer().flushes(FlushCause::kIdle);
+    report.flushes_deadline += ep.coalescer().flushes(FlushCause::kDeadline);
     report.updates_collapsed += ep.updates_collapsed();
     report.batch_sizes.Merge(ep.coalescer().batch_sizes());
     report.epoch_msgs += ep.epoch_msgs_sent();

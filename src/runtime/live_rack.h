@@ -72,6 +72,11 @@ struct LiveRackParams {
   bool coalescing = false;
   int coalesce_max_batch = 16;       // mirrors RackParams::coalesce_max_batch
   bool coalesce_flush_on_idle = true;
+  // Hold sub-cap batches up to this many µs before an op-boundary flush ships
+  // them (0 = flush every boundary, the pre-deadline behaviour); mirrors the
+  // sim's coalesce_window_ns.  LiveReport::flushes_deadline counts the holds
+  // that ran to their deadline.
+  std::uint64_t coalesce_flush_deadline_us = 0;
 
   // Hot-set management.  With prefill_hot_set the run starts in the paper's
   // steady state (oracle top-k installed everywhere); with online_topk node 0

@@ -40,6 +40,7 @@ struct LiveReport {
   std::uint64_t flushes_size = 0;        // batches closed by the max_batch cap
   std::uint64_t flushes_boundary = 0;    // batches closed at an op boundary
   std::uint64_t flushes_idle = 0;        // backstop flushes (0 in a healthy run)
+  std::uint64_t flushes_deadline = 0;    // sub-cap batches held to the deadline
   std::uint64_t updates_collapsed = 0;   // receive-side same-key run collapses
   Histogram batch_sizes;                 // messages per shipped batch
 

@@ -1,9 +1,20 @@
 #include "src/runtime/transport.h"
 
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
 #include "src/common/check.h"
 
 namespace cckvs {
 namespace {
+
+std::uint64_t SteadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 CoalescerConfig MakeCoalescerConfig(const LiveTransport::Config& c, NodeId self) {
   CoalescerConfig cc;
@@ -11,6 +22,10 @@ CoalescerConfig MakeCoalescerConfig(const LiveTransport::Config& c, NodeId self)
   cc.num_peers = c.num_nodes;
   cc.enabled = c.coalescing;
   cc.max_batch = c.coalesce_max_batch;
+  if (c.coalescing && c.coalesce_flush_deadline_us > 0) {
+    cc.flush_deadline_ns = c.coalesce_flush_deadline_us * 1000;
+    cc.now_ns = c.clock_ns != nullptr ? c.clock_ns : SteadyNowNs;
+  }
   return cc;
 }
 
@@ -57,11 +72,26 @@ void LiveTransport::Endpoint::DeliverBatch(NodeId to, WireBatch batch) {
 }
 
 void LiveTransport::Endpoint::FlushBatches(FlushCause cause) {
+  const bool by_deadline =
+      cause == FlushCause::kBoundary && coalescer_.deadline_enabled();
+  // One clock read per flush pass, not one per peer: this runs every
+  // run-loop iteration on the hot path.
+  const std::uint64_t now = by_deadline ? coalescer_.now_ns() : 0;
   for (int j = 0; j < transport_->config_.num_nodes; ++j) {
-    if (j != self_ && !coalescer_.empty(static_cast<NodeId>(j))) {
-      DeliverBatch(static_cast<NodeId>(j),
-                   coalescer_.Take(static_cast<NodeId>(j), cause));
+    const auto to = static_cast<NodeId>(j);
+    if (j == self_ || coalescer_.empty(to)) {
+      continue;
     }
+    if (by_deadline) {
+      // Deadline policy: the op boundary only ships batches that have been
+      // held long enough; younger sub-cap batches keep accumulating.
+      if (!coalescer_.DeadlineExpired(to, now)) {
+        continue;
+      }
+      DeliverBatch(to, coalescer_.Take(to, FlushCause::kDeadline));
+      continue;
+    }
+    DeliverBatch(to, coalescer_.Take(to, cause));
   }
 }
 
@@ -162,8 +192,21 @@ bool LiveTransport::Endpoint::NothingPending() const {
 }
 
 void LiveTransport::Endpoint::WaitForTraffic(std::chrono::microseconds timeout) {
-  if (transport_->config_.coalesce_flush_on_idle && !coalescer_.AllEmpty()) {
-    FlushBatches(FlushCause::kIdle);
+  if (!coalescer_.AllEmpty()) {
+    if (coalescer_.deadline_enabled()) {
+      // The deadline is itself the backstop (independent of the idle-flush
+      // knob): ship what already expired, keep holding the rest — but never
+      // sleep past the earliest open deadline, so a held batch is flushed
+      // within one wakeup of expiring even on an otherwise idle node.
+      FlushBatches(FlushCause::kBoundary);  // boundary+deadline: expired only
+      const std::uint64_t remaining = coalescer_.MinRemainingNs();
+      if (remaining != std::numeric_limits<std::uint64_t>::max()) {
+        const auto cap = std::chrono::microseconds(remaining / 1000 + 1);
+        timeout = std::min(timeout, cap);
+      }
+    } else if (transport_->config_.coalesce_flush_on_idle) {
+      FlushBatches(FlushCause::kIdle);
+    }
   }
   std::vector<WireBatch> none;
   inbox_.WaitDrain(&none, /*max=*/0, timeout);  // wakes early on arrival

@@ -47,6 +47,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <utility>
 #include <variant>
@@ -80,6 +81,16 @@ class LiveTransport {
     // run loop's op-boundary flush normally ships everything first, so this
     // firing (flushes_idle > 0) means a host skipped its boundary flushes.
     bool coalesce_flush_on_idle = true;
+    // Deadline-based flush, mirroring the sim's coalesce_window_ns: when > 0,
+    // op-boundary flushes hold sub-cap batches until they have been open this
+    // many microseconds (size-cap flushes still fire immediately), trading
+    // bounded extra latency for fatter batches.  The pre-sleep path flushes
+    // expired batches and caps the sleep to the earliest open deadline, so no
+    // message is ever held past deadline + one wakeup.
+    std::uint64_t coalesce_flush_deadline_us = 0;
+    // Monotonic clock for the deadline policy; tests inject a fake.  Defaults
+    // to steady_clock when a deadline is set.
+    std::function<std::uint64_t()> clock_ns;
   };
 
   class Endpoint final : public MessageSink {

@@ -1,0 +1,67 @@
+// The host half of an epoch transition (§4): what a node owes the rack while
+// the HotSetManager installs an announced hot set.
+//
+// Both hosts — the discrete-event RackSimulation and the live multithreaded
+// LiveRack — implement this interface over the same store::Partition
+// primitives, and HotSetManager::Drive* executes every transition through it.
+// There is exactly ONE transition state machine (hot_set_manager.cc); hosts
+// differ only in how the published messages travel (serialized control/fill
+// packets on the simulated fabric vs. WireBody variants on the in-process
+// channels) and in where ops parked on the residency gate wait (a parked
+// request deque in the sim's KVS path, the run loop's parked_gated_ queue in
+// the live node, an explicit retry action in the model checker's transition
+// scope).
+//
+// Ordering contract (the install barrier): PublishFills and PublishInstalled
+// must ship on the same per-peer FIFO lanes as the consistency updates this
+// node sent earlier.  That is what makes "every node installed epoch E" imply
+// "every update to a key evicted in E has drained into its home shard", which
+// is the fact LiftGate acts on.
+
+#ifndef CCKVS_TOPK_HOT_SET_HOST_H_
+#define CCKVS_TOPK_HOT_SET_HOST_H_
+
+#include <vector>
+
+#include "src/cache/symmetric_cache.h"
+#include "src/common/types.h"
+#include "src/topk/hot_set_messages.h"
+
+namespace cckvs {
+
+class HotSetHost {
+ public:
+  virtual ~HotSetHost() = default;
+
+  // Flush a dirty eviction homed at this node into its shard: a timestamped
+  // apply that installs iff newer and preserves the residency flag.
+  virtual void ApplyWriteback(const SymmetricCache::Eviction& ev) = 0;
+
+  struct FillSnapshot {
+    Value value;
+    Timestamp ts{};
+  };
+  // Raise the shard residency gate for `key` (homed here) and snapshot the
+  // authoritative value the fill is taken from.  Mark and snapshot must be
+  // atomic against direct shard writers — Partition::MarkCacheResident
+  // provides exactly that contract.
+  virtual FillSnapshot GateAndSnapshot(Key key) = 0;
+
+  // Ship one transition's fills (keys homed here) to every peer.  The manager
+  // has already applied them to the local cache.
+  virtual void PublishFills(const std::vector<FillMsg>& fills) = 0;
+
+  // Broadcast this node's install-barrier confirmation.
+  virtual void PublishInstalled(const EpochInstalledMsg& msg) = 0;
+
+  // The install barrier completed for `key` (homed here): every node
+  // installed the evicting epoch, so the pre-eviction updates that travelled
+  // ahead of their confirmations have all drained into this shard and it is
+  // authoritative again.  Hosts clear the residency gate and retry work
+  // parked on it.
+  virtual void LiftGate(Key key) = 0;
+};
+
+}  // namespace cckvs
+
+#endif  // CCKVS_TOPK_HOT_SET_HOST_H_

@@ -8,10 +8,12 @@
 namespace cckvs {
 
 HotSetManager::HotSetManager(const HotSetManagerConfig& config,
-                             SymmetricCache* cache, CoherenceEngine* engine)
+                             SymmetricCache* cache, CoherenceEngine* engine,
+                             HotSetHost* host)
     : config_(config),
       cache_(cache),
       engine_(engine),
+      host_(host),
       installed_(static_cast<std::size_t>(config.num_nodes), 0) {
   CCKVS_CHECK_GE(config_.num_nodes, 1);
   CCKVS_CHECK_LT(config_.self, config_.num_nodes);
@@ -79,7 +81,70 @@ bool HotSetManager::Sample(Key key) {
 }
 
 // ---------------------------------------------------------------------------
-// Member role
+// Member role — host-driven entry points (the shared transition machine)
+// ---------------------------------------------------------------------------
+
+void HotSetManager::Execute(const Transition& t) {
+  CCKVS_CHECK(host_ != nullptr);
+  // Order matters and is identical on every host.  Write-backs land before
+  // fills are snapshotted (an admitted key's snapshot must see any eviction
+  // flush this same transition produced).  Fills are applied locally before
+  // they are published, so the home cache serves the key from the instant its
+  // shard gate goes up.  The install confirmation goes out after the fills so
+  // it stays behind them on the FIFO lanes, and gates lift last — our own
+  // install can be the final piece of a barrier.
+  for (const SymmetricCache::Eviction& ev : t.home_writebacks) {
+    host_->ApplyWriteback(ev);
+  }
+  if (!t.fill_duties.empty()) {
+    std::vector<FillMsg> fills;
+    fills.reserve(t.fill_duties.size());
+    for (const Key key : t.fill_duties) {
+      const HotSetHost::FillSnapshot snap = host_->GateAndSnapshot(key);
+      FillMsg fill{key, snap.value, snap.ts, target_epoch_};
+      ApplyFill(fill);
+      fills.push_back(std::move(fill));
+    }
+    host_->PublishFills(fills);
+  }
+  if (t.installed_advanced) {
+    host_->PublishInstalled(EpochInstalledMsg{t.installed_epoch});
+  }
+  for (const Key key : t.ungated) {
+    host_->LiftGate(key);
+  }
+}
+
+void HotSetManager::DriveAnnounce(const HotSetAnnounceMsg& msg) {
+  Execute(Apply(msg));
+}
+
+void HotSetManager::DriveDeferred() {
+  if (HasDeferred()) {
+    Execute(RetryDeferred());
+  }
+}
+
+void HotSetManager::DrivePeerInstalled(NodeId peer, std::uint64_t epoch) {
+  CCKVS_CHECK(host_ != nullptr);
+  for (const Key key : OnPeerInstalled(peer, epoch)) {
+    host_->LiftGate(key);
+  }
+}
+
+std::vector<FillMsg> HotSetManager::StashedFills() const {
+  std::vector<FillMsg> fills;
+  fills.reserve(fill_stash_.size());
+  for (const auto& [key, fill] : fill_stash_) {
+    fills.push_back(fill);
+  }
+  std::sort(fills.begin(), fills.end(),
+            [](const FillMsg& a, const FillMsg& b) { return a.key < b.key; });
+  return fills;
+}
+
+// ---------------------------------------------------------------------------
+// Member role — raw transition steps
 // ---------------------------------------------------------------------------
 
 void HotSetManager::TryEvict(Key key, Transition* t) {
@@ -144,9 +209,13 @@ HotSetManager::Transition HotSetManager::Apply(const HotSetAnnounceMsg& msg) {
       fill_stash_.erase(it);
     }
   }
-  // Drop stashed fills this announce did not consume.
+  // Drop stashed fills this announce did not consume, and pre-admission
+  // traffic records for keys the epoch did not admit (keeps both bounded).
   for (auto it = fill_stash_.begin(); it != fill_stash_.end();) {
     it = it->second.epoch <= target_epoch_ ? fill_stash_.erase(it) : ++it;
+  }
+  for (auto it = seen_ahead_.begin(); it != seen_ahead_.end();) {
+    it = target_.count(it->first) == 0 ? seen_ahead_.erase(it) : ++it;
   }
   FinishInstall(&t);
   return t;
@@ -164,7 +233,34 @@ HotSetManager::Transition HotSetManager::RetryDeferred() {
 
 bool HotSetManager::ApplyFill(const FillMsg& fill) {
   if (CacheEntry* entry = cache_->Find(fill.key); entry != nullptr) {
-    cache_->Fill(fill.key, fill.value, fill.ts);
+    Value value = fill.value;
+    Timestamp ts = fill.ts;
+    Timestamp promised{};  // a newer write known only by its invalidation
+    if (auto it = seen_ahead_.find(fill.key); it != seen_ahead_.end()) {
+      // Traffic for this key was dropped before the announce admitted it; the
+      // fill must not resurrect a value those messages already moved past.
+      // (Settled evictions keep the coordinator from re-admitting a key whose
+      // shard lags, so anything newer than the fill is current-era traffic.)
+      const AheadRecord r = it->second;
+      seen_ahead_.erase(it);
+      if (r.upd_ts > ts) {
+        value = r.upd_value;
+        ts = r.upd_ts;
+      }
+      if (r.inv_ts > ts) {
+        promised = r.inv_ts;
+      }
+    }
+    cache_->Fill(fill.key, value, ts);
+    if (promised != Timestamp{} && entry->state() == CacheState::kValid &&
+        promised > entry->ts()) {
+      // Only the invalidation of a newer write was seen; its update is still
+      // in flight.  Leave the entry Invalid at the promised timestamp — the
+      // matching update (timestamp equality) will make it Valid, exactly as
+      // if the invalidation had hit a cached entry.
+      entry->set_ts(promised);
+      entry->set_state(CacheState::kInvalid);
+    }
     engine_->OnFilled(fill.key);
     return true;
   }
@@ -174,6 +270,30 @@ bool HotSetManager::ApplyFill(const FillMsg& fill) {
     fill_stash_[fill.key] = fill;
   }
   return false;
+}
+
+void HotSetManager::NoteUncachedUpdate(Key key, const Value& value, Timestamp ts) {
+  AheadRecord& r = seen_ahead_[key];
+  if (ts > r.upd_ts) {
+    r.upd_ts = ts;
+    r.upd_value = value;
+  }
+}
+
+void HotSetManager::NoteUncachedInvalidate(Key key, Timestamp ts) {
+  AheadRecord& r = seen_ahead_[key];
+  r.inv_ts = std::max(r.inv_ts, ts);
+}
+
+std::vector<HotSetManager::AheadTraffic> HotSetManager::SeenAheadTraffic() const {
+  std::vector<AheadTraffic> out;
+  out.reserve(seen_ahead_.size());
+  for (const auto& [key, r] : seen_ahead_) {
+    out.push_back(AheadTraffic{key, r.inv_ts, r.upd_ts, r.upd_value});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AheadTraffic& a, const AheadTraffic& b) { return a.key < b.key; });
+  return out;
 }
 
 std::vector<Key> HotSetManager::OnPeerInstalled(NodeId peer, std::uint64_t epoch) {

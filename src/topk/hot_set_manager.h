@@ -4,10 +4,14 @@
 // used to be scattered through the rack driver: coordinator sampling, epoch
 // publication, installing announced hot sets into the SymmetricCache,
 // write-back of dirty evictions, cache fills, and the bookkeeping that makes
-// all of it safe against the consistency protocol.  Both hosts — the
-// discrete-event RackSimulation and the live multithreaded LiveRack — drive
-// the same manager; only the transport differs (serialized control/fill
-// messages vs. in-process channel variants).
+// all of it safe against the consistency protocol.  It is the ONE transition
+// state machine: the Drive* entry points both decide a transition and execute
+// it through the HotSetHost hooks (hot_set_host.h), so the discrete-event
+// RackSimulation, the live multithreaded LiveRack and the model checker's
+// transition scope all run the identical logic — hosts differ only in how the
+// published messages travel (serialized control/fill packets vs. in-process
+// channel variants vs. explicit FIFO lanes) and in where ops parked on the
+// shard residency gate wait.
 //
 // Protocol safety has two parts:
 //
@@ -46,6 +50,7 @@
 #include "src/common/types.h"
 #include "src/protocol/engine.h"
 #include "src/topk/epoch_coordinator.h"
+#include "src/topk/hot_set_host.h"
 #include "src/topk/hot_set_messages.h"
 
 namespace cckvs {
@@ -62,8 +67,12 @@ struct HotSetManagerConfig {
 
 class HotSetManager {
  public:
+  // `host` executes transitions (writebacks, gate+fill snapshots, publishing,
+  // gate lifts) when the Drive* entry points are used; tests that inspect raw
+  // Transitions may pass nullptr and call Apply/RetryDeferred/OnPeerInstalled
+  // directly instead.
   HotSetManager(const HotSetManagerConfig& config, SymmetricCache* cache,
-                CoherenceEngine* engine);
+                CoherenceEngine* engine, HotSetHost* host = nullptr);
 
   // ---------------------------------------------------------------------
   // Coordinator role
@@ -89,7 +98,29 @@ class HotSetManager {
   std::uint64_t epoch_requests() const;
 
   // ---------------------------------------------------------------------
-  // Member role
+  // Member role — host-driven entry points
+  // ---------------------------------------------------------------------
+  //
+  // The ONE shared transition machine: both hosts (sim RackNode, live
+  // LiveNode) and the model checker's transition scope call these, and the
+  // manager executes every host duty through the HotSetHost hooks.  Hosts no
+  // longer interpret Transitions themselves.
+
+  // Installs an announced hot set and executes the resulting transition:
+  // write-backs, gate+snapshot+publish for fill duties, the install-barrier
+  // confirmation, and gate lifts this node's own progress completed.
+  void DriveAnnounce(const HotSetAnnounceMsg& msg);
+
+  // Re-attempts deferred evictions and executes whatever completes; call when
+  // protocol progress (acks, updates, fills) may have released keys.
+  void DriveDeferred();
+
+  // Barrier progress from a peer; lifts the residency gate (host hook) for
+  // every key homed here whose eviction just settled rack-wide.
+  void DrivePeerInstalled(NodeId peer, std::uint64_t epoch);
+
+  // ---------------------------------------------------------------------
+  // Member role — raw transition steps (unit tests, introspection)
   // ---------------------------------------------------------------------
 
   // What the host owes the rack after a membership step.
@@ -120,7 +151,32 @@ class HotSetManager {
   // Installs a fill into the cache (and wakes the engine's parked work).
   // Fills that arrive before their announce are stashed and consumed by
   // Apply; fills for departed keys are dropped.  Returns true when applied.
+  // Traffic recorded by NoteUncached* supersedes stale fills (see below).
   bool ApplyFill(const FillMsg& fill);
+
+  // The fill-vs-announce race (found by the model checker's transition
+  // scope): a node that has not yet applied an epoch's announce drops
+  // consistency traffic for the keys that epoch admits — it neither caches
+  // them nor homes them — yet it still acks invalidations, so a writer's Lin
+  // write can COMPLETE while this node knows nothing of it.  If the home's
+  // fill (snapshotted before that write) then arrives via the stash, the node
+  // would install the superseded value as Valid and serve stale reads.
+  // Hosts therefore report dropped traffic for uncached keys homed
+  // elsewhere; ApplyFill installs the newest update instead of a stale fill,
+  // and an invalidation-only record leaves the entry Invalid at the promised
+  // timestamp so the in-flight update (same ts) completes it.  Records are
+  // pruned on every announce (keys outside the new target set).
+  void NoteUncachedUpdate(Key key, const Value& value, Timestamp ts);
+  void NoteUncachedInvalidate(Key key, Timestamp ts);
+
+  // Pre-admission traffic records, sorted by key (model-checker encoding).
+  struct AheadTraffic {
+    Key key = 0;
+    Timestamp inv_ts{};
+    Timestamp upd_ts{};
+    Value upd_value;
+  };
+  std::vector<AheadTraffic> SeenAheadTraffic() const;
 
   // Barrier progress from a peer.  Returns newly settled keys homed here
   // (same meaning as Transition::ungated).
@@ -129,19 +185,28 @@ class HotSetManager {
   // True while shard access to `key` (homed here) must wait for the barrier.
   bool ShardGated(Key key) const { return pending_clear_.count(key) != 0; }
 
-  std::uint64_t installed_epoch() const { return installed_[config_.self]; }
   std::uint64_t target_epoch() const { return target_epoch_; }
   std::size_t deferred_evictions() const { return deferred_.size(); }
+
+  std::uint64_t installed_epoch() const { return installed_[config_.self]; }
+  // Peer view of the barrier (model-checker state encoding).
+  std::uint64_t peer_installed_epoch(NodeId node) const { return installed_[node]; }
+  // Fills that arrived ahead of their announce (model-checker state encoding;
+  // sorted by key).
+  std::vector<FillMsg> StashedFills() const;
 
  private:
   void TryEvict(Key key, Transition* t);
   void FinishInstall(Transition* t);
+  // Executes a transition's host duties through the HotSetHost hooks.
+  void Execute(const Transition& t);
   std::uint64_t MinInstalled() const;
   void CollectUngated(std::vector<Key>* out);
 
   HotSetManagerConfig config_;
   SymmetricCache* cache_;
   CoherenceEngine* engine_;
+  HotSetHost* host_;
 
   // Coordinator state.
   std::unique_ptr<EpochCoordinator> coordinator_;
@@ -156,6 +221,14 @@ class HotSetManager {
   std::unordered_set<Key> target_;    // membership this node converges to
   std::unordered_set<Key> deferred_;  // evictions blocked by engine state
   std::unordered_map<Key, FillMsg> fill_stash_;  // fills that beat their announce
+  // Dropped pre-admission traffic per key (see NoteUncached*); bounded by the
+  // announce-time prune.
+  struct AheadRecord {
+    Timestamp inv_ts{};
+    Timestamp upd_ts{};
+    Value upd_value;
+  };
+  std::unordered_map<Key, AheadRecord> seen_ahead_;
   // Keys homed here evicted in epoch `value`, awaiting the install barrier.
   std::unordered_map<Key, std::uint64_t> pending_clear_;
   std::vector<std::uint64_t> installed_;  // per-node installed epoch, self included

@@ -27,6 +27,23 @@
 // State identity is a canonical encoding of cache contents + in-flight messages
 // + budgets; exploration is BFS with replay (states are regenerated from action
 // paths, so the engines never need to be copyable).
+//
+// A second scope — CheckEpochTransition — extends the same exhaustive method
+// to §4's epoch-transition machinery: N real engines + symmetric caches +
+// store::Partition shards + topk::HotSetManager instances (driven through the
+// same HotSetHost hooks both production hosts use) explore every interleaving
+// of announce applications, protocol deliveries (inv/ack/update), fills,
+// install-barrier confirmations, client cache ops and gated direct-shard ops
+// across one epoch change that evicts one key and admits another.  Messages
+// travel per-(src,dst) FIFO lanes — the ordering both transports guarantee
+// and the install barrier relies on — while lanes interleave freely.
+// Checked: per-key linearizability at every op completion (reads never
+// observe below the key's completed-op watermark; writes serialize strictly
+// above it) under Lin, data-value/write-atomicity everywhere, per-node
+// timestamp monotonicity, deadlock freedom (no op parked forever, nothing
+// deferred at quiescence), and terminal convergence (caches agree on the
+// admitted key, the evicted key's shard holds its maximal write, every gate
+// lifted, every node installed).
 
 #ifndef CCKVS_VERIFY_MODEL_CHECKER_H_
 #define CCKVS_VERIFY_MODEL_CHECKER_H_
@@ -34,6 +51,8 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "src/protocol/engine.h"
 
 namespace cckvs {
 
@@ -54,6 +73,23 @@ struct ModelCheckerResult {
 
 // Runs the exhaustive exploration.  Deterministic.
 ModelCheckerResult CheckLinProtocol(const ModelCheckerConfig& config);
+
+// Epoch-transition scope: one epoch change (key 0 evicted, key 1 admitted)
+// explored exhaustively against the production engines, caches, shards and
+// hot-set managers.  Client load comes from `puts` put templates and `gets`
+// get templates spread across nodes and both keys; each op routes exactly as
+// the hosts do — own-cache hit through the engine, otherwise a direct shard
+// access through the residency gate, parking (and later retrying) when gated.
+struct TransitionScopeConfig {
+  int num_nodes = 2;
+  ConsistencyModel model = ConsistencyModel::kLin;
+  int puts = 1;       // put templates (≤ 4)
+  int gets = 1;       // get templates (≤ 4)
+  int max_clock = 15; // timestamp bound; CHECKed, never reached in practice
+};
+
+// Runs the exhaustive transition exploration.  Deterministic.
+ModelCheckerResult CheckEpochTransition(const TransitionScopeConfig& config);
 
 }  // namespace cckvs
 

@@ -7,10 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/cache/symmetric_cache.h"
 #include "src/protocol/engine.h"
+#include "src/store/partition.h"
+#include "src/topk/hot_set_host.h"
 #include "src/topk/hot_set_manager.h"
 
 namespace cckvs {
@@ -222,6 +225,223 @@ TEST(HotSetManager, ReadmissionCancelsPendingGateClear) {
 
   const auto ungated = h.mgr->OnPeerInstalled(1, 1);  // epoch-1 straggler
   EXPECT_TRUE(ungated.empty()) << "the re-admitted key's gate must stay up";
+}
+
+// ---------------------------------------------------------------------------
+// The shared host hooks: ONE transition machine, two host styles
+// ---------------------------------------------------------------------------
+
+// A fake host over a real Partition shard.  `batch_publish` mimics the sim
+// host (one PublishFills call may carry many fills, shipped chunked) vs. the
+// live host (per-fill broadcast); everything observable must be identical.
+class FakeHost : public HotSetHost {
+ public:
+  explicit FakeHost(bool batch_publish) : batch_publish_(batch_publish) {
+    PartitionConfig pc;
+    pc.buckets = 16;
+    pc.node_id = 0;
+    pc.synthesize = [](Key) { return Value("shard"); };
+    partition_ = std::make_unique<Partition>(pc);
+  }
+
+  void ApplyWriteback(const SymmetricCache::Eviction& ev) override {
+    partition_->Apply(ev.key, ev.value, ev.ts);
+    log_.push_back("writeback:" + std::to_string(ev.key));
+  }
+  FillSnapshot GateAndSnapshot(Key key) override {
+    const Partition::ResidentSnapshot snap = partition_->MarkCacheResident(key);
+    log_.push_back("gate:" + std::to_string(key));
+    return FillSnapshot{snap.value, snap.ts};
+  }
+  void PublishFills(const std::vector<FillMsg>& fills) override {
+    if (batch_publish_) {
+      published_fills_.insert(published_fills_.end(), fills.begin(), fills.end());
+      log_.push_back("fills:" + std::to_string(fills.size()));
+    } else {
+      for (const FillMsg& f : fills) {
+        published_fills_.push_back(f);
+        log_.push_back("fills:1");
+      }
+    }
+  }
+  void PublishInstalled(const EpochInstalledMsg& msg) override {
+    installed_.push_back(msg.epoch);
+    log_.push_back("installed:" + std::to_string(msg.epoch));
+  }
+  void LiftGate(Key key) override {
+    partition_->ClearCacheResident(key);
+    log_.push_back("lift:" + std::to_string(key));
+  }
+
+  bool ShardResident(Key key) const {
+    Value v;
+    Timestamp ts;
+    bool resident = false;
+    EXPECT_TRUE(partition_->Get(key, &v, &ts, &resident));
+    return resident;
+  }
+
+  Partition& partition() { return *partition_; }
+  const std::vector<FillMsg>& published_fills() const { return published_fills_; }
+  const std::vector<std::uint64_t>& installed() const { return installed_; }
+  const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  bool batch_publish_;
+  std::unique_ptr<Partition> partition_;
+  std::vector<FillMsg> published_fills_;
+  std::vector<std::uint64_t> installed_;
+  std::vector<std::string> log_;
+};
+
+struct HostHarness {
+  explicit HostHarness(bool batch_publish) : host(batch_publish) {
+    cache = std::make_unique<SymmetricCache>(8);
+    engine = std::make_unique<ScEngine>(0, kNodes, cache.get(), &sink);
+    HotSetManagerConfig hc;
+    hc.self = 0;
+    hc.num_nodes = kNodes;
+    hc.home_of = HomeOf;
+    mgr = std::make_unique<HotSetManager>(hc, cache.get(), engine.get(), &host);
+    cache->InstallHotSet({2});
+    cache->Fill(2, "seed", Timestamp{1, 1});
+    host.partition().MarkCacheResident(2);  // prefilled hot key, gate up
+  }
+
+  RecordingSink sink;
+  FakeHost host;
+  std::unique_ptr<SymmetricCache> cache;
+  std::unique_ptr<CoherenceEngine> engine;
+  std::unique_ptr<HotSetManager> mgr;
+};
+
+TEST(HotSetHostHooks, SimStyleAndLiveStyleHostsSeeTheSameTransition) {
+  // Drive the identical transition sequence through a batching ("sim") host
+  // and a per-fill ("live") host: key 2 (dirty, homed here) is evicted, keys
+  // 4 and 6 (homed here) are admitted, the peer confirms, the gate lifts.
+  HostHarness sim_style(/*batch_publish=*/true);
+  HostHarness live_style(/*batch_publish=*/false);
+  for (HostHarness* h : {&sim_style, &live_style}) {
+    h->cache->Find(2)->dirty = true;
+    h->cache->Find(2)->value = "dirty-write";
+    h->cache->Find(2)->value_ts = Timestamp{3, 0};
+    h->mgr->DriveAnnounce(HotSetAnnounceMsg{1, {4, 6}});
+    EXPECT_TRUE(h->host.ShardResident(2)) << "gate stays up until the barrier";
+    EXPECT_TRUE(h->host.ShardResident(4));
+    EXPECT_TRUE(h->host.ShardResident(6));
+    EXPECT_EQ(h->host.installed(), std::vector<std::uint64_t>{1});
+    h->mgr->DrivePeerInstalled(1, 1);
+    EXPECT_FALSE(h->host.ShardResident(2)) << "barrier complete: gate lifted";
+  }
+
+  // Identical observable outcomes: write-back applied to the shard...
+  for (HostHarness* h : {&sim_style, &live_style}) {
+    Value v;
+    Timestamp ts;
+    ASSERT_TRUE(h->host.partition().Get(2, &v, &ts));
+    EXPECT_EQ(v, "dirty-write");
+    EXPECT_EQ(ts, (Timestamp{3, 0}));
+    // ...fills snapshotted from the shard and applied locally...
+    EXPECT_EQ(h->cache->Find(4)->state(), CacheState::kValid);
+    EXPECT_EQ(h->cache->Find(4)->value, "shard");
+    EXPECT_EQ(h->cache->Find(6)->state(), CacheState::kValid);
+  }
+  // ...and the same published fills, in the same order.
+  ASSERT_EQ(sim_style.host.published_fills().size(), 2u);
+  ASSERT_EQ(live_style.host.published_fills().size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(sim_style.host.published_fills()[i].key,
+              live_style.host.published_fills()[i].key);
+    EXPECT_EQ(sim_style.host.published_fills()[i].value,
+              live_style.host.published_fills()[i].value);
+    EXPECT_EQ(sim_style.host.published_fills()[i].epoch,
+              live_style.host.published_fills()[i].epoch);
+  }
+  // The hook sequences differ only in fill batching.
+  EXPECT_EQ(sim_style.host.log(),
+            (std::vector<std::string>{"writeback:2", "gate:4", "gate:6", "fills:2",
+                                      "installed:1", "lift:2"}));
+  EXPECT_EQ(live_style.host.log(),
+            (std::vector<std::string>{"writeback:2", "gate:4", "gate:6", "fills:1",
+                                      "fills:1", "installed:1", "lift:2"}));
+}
+
+TEST(HotSetHostHooks, DeferredInstallPublishesOnDriveDeferred) {
+  // A Lin write in flight defers the eviction: DriveAnnounce must not publish
+  // an install; DriveDeferred after the ack completes it through the hooks.
+  RecordingSink sink;
+  FakeHost host(/*batch_publish=*/false);
+  SymmetricCache cache(4);
+  LinEngine engine(0, kNodes, &cache, &sink);
+  HotSetManagerConfig hc;
+  hc.self = 0;
+  hc.num_nodes = kNodes;
+  hc.home_of = HomeOf;
+  HotSetManager mgr(hc, &cache, &engine, &host);
+  cache.InstallHotSet({2});
+  cache.Fill(2, "seed", Timestamp{1, 1});
+  host.partition().MarkCacheResident(2);
+
+  engine.Write(2, "w", nullptr);
+  ASSERT_EQ(sink.invalidations.size(), 1u);
+  mgr.DriveAnnounce(HotSetAnnounceMsg{1, {4}});
+  EXPECT_TRUE(mgr.HasDeferred());
+  EXPECT_TRUE(host.installed().empty());
+
+  engine.OnAck(1, AckMsg{2, sink.invalidations[0].ts});
+  mgr.DriveDeferred();
+  EXPECT_FALSE(mgr.HasDeferred());
+  EXPECT_EQ(host.installed(), std::vector<std::uint64_t>{1});
+  // The completed write's value reached the shard via the write-back hook.
+  Value v;
+  Timestamp ts;
+  ASSERT_TRUE(host.partition().Get(2, &v, &ts));
+  EXPECT_EQ(v, "w");
+}
+
+// ---------------------------------------------------------------------------
+// The fill-vs-announce race (found by the model checker's transition scope)
+// ---------------------------------------------------------------------------
+
+TEST(HotSetManager, NotedUncachedUpdateSupersedesStaleFill) {
+  // An update for a not-yet-admitted key was dropped before the announce
+  // arrived; the stale stashed fill must not resurrect the older value.
+  Harness h(ConsistencyModel::kSc);
+  h.mgr->ApplyFill(FillMsg{5, "stale-fill", Timestamp{2, 1}, 1});  // stashed
+  h.mgr->NoteUncachedUpdate(5, "newer-write", Timestamp{3, 0});
+  h.mgr->Apply(HotSetAnnounceMsg{1, {5}});
+  ASSERT_NE(h.cache->Find(5), nullptr);
+  EXPECT_EQ(h.cache->Find(5)->state(), CacheState::kValid);
+  EXPECT_EQ(h.cache->Find(5)->value, "newer-write");
+  EXPECT_EQ(h.cache->Find(5)->ts(), (Timestamp{3, 0}));
+}
+
+TEST(HotSetManager, NotedUncachedInvalidateLeavesFillInvalidUntilItsUpdate) {
+  // Only the invalidation of a newer write was seen before the announce: the
+  // fill installs Invalid at the promised timestamp, and the (re-delivered)
+  // update with that exact timestamp completes it — no stale Valid window.
+  Harness h(ConsistencyModel::kLin);
+  h.mgr->NoteUncachedInvalidate(5, Timestamp{4, 1});
+  h.mgr->Apply(HotSetAnnounceMsg{1, {5}});
+  h.mgr->ApplyFill(FillMsg{5, "fill", Timestamp{2, 1}, 1});
+  ASSERT_NE(h.cache->Find(5), nullptr);
+  EXPECT_EQ(h.cache->Find(5)->state(), CacheState::kInvalid);
+  EXPECT_EQ(h.cache->Find(5)->ts(), (Timestamp{4, 1}));
+  bool read_done = false;
+  h.engine->Read(5, nullptr, nullptr,
+                 [&](const Value&, Timestamp) { read_done = true; });
+  EXPECT_FALSE(read_done) << "reads must wait for the in-flight update";
+  h.engine->OnUpdate(1, UpdateMsg{5, "in-flight", Timestamp{4, 1}});
+  EXPECT_TRUE(read_done);
+  EXPECT_EQ(h.cache->Find(5)->state(), CacheState::kValid);
+  EXPECT_EQ(h.cache->Find(5)->value, "in-flight");
+}
+
+TEST(HotSetManager, AheadRecordsArePrunedForKeysTheEpochDidNotAdmit) {
+  Harness h(ConsistencyModel::kSc);
+  h.mgr->NoteUncachedUpdate(9, "x", Timestamp{5, 1});
+  h.mgr->Apply(HotSetAnnounceMsg{1, {5}});  // 9 not admitted
+  EXPECT_TRUE(h.mgr->SeenAheadTraffic().empty());
 }
 
 TEST(HotSetManager, StaleAnnounceIsIgnored) {

@@ -194,6 +194,31 @@ TEST(LiveRackTest, CoalescedStressStaysConsistent) {
   }
 }
 
+// Deadline-held batches (coalesce_flush_deadline_us) must not disturb the
+// checkers either: sub-cap batches now outlive op boundaries, so protocol
+// messages can sit in an open batch across many pump iterations before the
+// deadline ships them — FIFO, credits and the drain exit must all survive.
+TEST(LiveRackTest, DeadlineFlushStressStaysConsistent) {
+  for (const ConsistencyModel model :
+       {ConsistencyModel::kSc, ConsistencyModel::kLin}) {
+    LiveRackParams p = StressParams(model);
+    p.coalescing = true;
+    p.coalesce_max_batch = 16;
+    p.coalesce_flush_deadline_us = 20;
+    p.ops_per_node = OpsPerNode(100'000, 15'000);
+    p.seed = 23;
+    LiveRack rack(p);
+    const LiveReport r = rack.Run();
+    ExpectHealthyRun(p, r);
+    EXPECT_GT(r.flushes_deadline, 0u) << "the hold policy never fired";
+    const std::string err = model == ConsistencyModel::kSc
+                                ? rack.history().CheckPerKeySequentialConsistency()
+                                : rack.history().CheckPerKeyLinearizability();
+    EXPECT_EQ(err, "") << "model=" << ToString(model);
+    EXPECT_EQ(rack.history().CheckWriteAtomicity(), "") << "model=" << ToString(model);
+  }
+}
+
 // Coalescing composed with the hot-set subsystem under drift: epoch traffic
 // (announce/fill/install barrier) rides the same batched lanes as the
 // protocol messages it must stay FIFO with.

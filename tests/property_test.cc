@@ -390,5 +390,40 @@ INSTANTIATE_TEST_SUITE_P(Sweep, CheckerScope,
                          testing::Combine(testing::Values(2, 3, 4),
                                           testing::Values(1, 2)));
 
+// ---------------------------------------------------------------------------
+// Epoch-transition scopes (cheap bounded scopes; the larger sweeps live in
+// bench/sec52_model_check).  Every interleaving of announce / fill /
+// write-back / gated shard op / install-barrier traffic across one epoch
+// change must stay consistent and deadlock-free.
+// ---------------------------------------------------------------------------
+
+struct TransitionCase {
+  ConsistencyModel model;
+  int puts;
+  int gets;
+};
+
+class TransitionScope : public testing::TestWithParam<TransitionCase> {};
+
+TEST_P(TransitionScope, ExhaustiveAndViolationFree) {
+  const TransitionCase c = GetParam();
+  TransitionScopeConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.model = c.model;
+  cfg.puts = c.puts;
+  cfg.gets = c.gets;
+  const ModelCheckerResult r = CheckEpochTransition(cfg);
+  EXPECT_TRUE(r.ok) << r.failure;
+  EXPECT_GT(r.states_explored, 20u);
+  EXPECT_GT(r.terminal_states, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TransitionScope,
+    testing::Values(TransitionCase{ConsistencyModel::kLin, 0, 1},
+                    TransitionCase{ConsistencyModel::kLin, 1, 1},
+                    TransitionCase{ConsistencyModel::kSc, 1, 1},
+                    TransitionCase{ConsistencyModel::kSc, 2, 1}));
+
 }  // namespace
 }  // namespace cckvs

@@ -368,5 +368,105 @@ TEST(TransportBatchingTest, OneBatchWakesASleepingReceiverOnce) {
   EXPECT_EQ(DrainAll(ep1).messages, 3u);
 }
 
+// --------------------------------------------------------------------------
+// Deadline-based flush (coalesce_flush_deadline_us; fake clock injected)
+// --------------------------------------------------------------------------
+
+TEST(SendCoalescerTest, DeadlineExpiryIsMeasuredFromFirstAppend) {
+  std::uint64_t now = 1'000'000;
+  CoalescerConfig cc;
+  cc.self = 0;
+  cc.num_peers = 3;
+  cc.enabled = true;
+  cc.max_batch = 8;
+  cc.flush_deadline_ns = 5'000;
+  cc.now_ns = [&now] { return now; };
+  SendCoalescer co(cc);
+
+  EXPECT_FALSE(co.Append(1, WireBody{Upd(1, 1)}));
+  now += 3'000;
+  EXPECT_FALSE(co.Append(1, WireBody{Upd(1, 2)}));  // later appends don't restamp
+  EXPECT_FALSE(co.Append(2, WireBody{Upd(2, 1)}));
+  EXPECT_FALSE(co.DeadlineExpired(1));
+  EXPECT_EQ(co.MinRemainingNs(), 2'000u);  // peer 1 opened first
+  now += 2'000;
+  EXPECT_TRUE(co.DeadlineExpired(1));
+  EXPECT_FALSE(co.DeadlineExpired(2));
+  EXPECT_EQ(co.MinRemainingNs(), 0u);
+  // Take resets the batch; a fresh append restamps.
+  EXPECT_EQ(co.Take(1, FlushCause::kDeadline).msgs.size(), 2u);
+  EXPECT_FALSE(co.Append(1, WireBody{Upd(1, 3)}));
+  EXPECT_FALSE(co.DeadlineExpired(1));
+}
+
+TEST(TransportBatchingTest, BoundaryFlushHoldsSubCapBatchesUntilDeadline) {
+  std::uint64_t now = 0;
+  LiveTransport::Config c = SmallConfig(2, /*coalescing=*/true, /*max_batch=*/8);
+  c.coalesce_flush_deadline_us = 10;  // 10'000 ns
+  c.clock_ns = [&now] { return now; };
+  LiveTransport t(c);
+  auto& ep0 = t.endpoint(0);
+
+  ep0.BroadcastUpdate(Upd(5, 1));
+  ep0.FlushBatches(FlushCause::kBoundary);  // young: held
+  EXPECT_EQ(t.endpoint(1).batches_received(), 0u);
+  EXPECT_FALSE(ep0.NothingPending());  // the message sits in the open batch
+
+  now += 4'000;
+  ep0.BroadcastUpdate(Upd(9, 2));  // distinct key: the receive demux keeps both
+  ep0.FlushBatches(FlushCause::kBoundary);  // still young: held
+  EXPECT_EQ(t.endpoint(1).batches_received(), 0u);
+
+  now += 6'000;  // 10'000 ns since the first append
+  ep0.FlushBatches(FlushCause::kBoundary);  // expired: ships as kDeadline
+  EXPECT_EQ(t.endpoint(1).batches_received(), 1u);
+  EXPECT_EQ(ep0.coalescer().flushes(FlushCause::kDeadline), 1u);
+  EXPECT_EQ(ep0.coalescer().flushes(FlushCause::kBoundary), 0u);
+  EXPECT_TRUE(ep0.NothingPending());
+  const Drained d = DrainAll(t.endpoint(1));
+  EXPECT_EQ(d.messages, 2u);
+  ASSERT_EQ(d.keys.size(), 2u);
+  EXPECT_EQ(d.keys[0], 5u);
+  EXPECT_EQ(d.keys[1], 9u) << "FIFO preserved through the hold";
+}
+
+TEST(TransportBatchingTest, SizeCapStillShipsImmediatelyUnderDeadline) {
+  std::uint64_t now = 0;
+  LiveTransport::Config c = SmallConfig(2, /*coalescing=*/true, /*max_batch=*/3);
+  c.coalesce_flush_deadline_us = 1'000'000;  // effectively infinite
+  c.clock_ns = [&now] { return now; };
+  LiveTransport t(c);
+  auto& ep0 = t.endpoint(0);
+  for (std::uint32_t i = 1; i <= 3; ++i) {
+    ep0.BroadcastUpdate(Upd(6, i));
+  }
+  EXPECT_EQ(t.endpoint(1).batches_received(), 1u) << "cap flush ignores the deadline";
+  EXPECT_EQ(ep0.coalescer().flushes(FlushCause::kSize), 1u);
+  DrainAll(t.endpoint(1));
+}
+
+TEST(TransportBatchingTest, PreSleepFlushShipsExpiredBatchesUnderDeadline) {
+  // The deadline backstop must hold with either setting of the idle-flush
+  // knob: it is its own flush policy, not a variant of the idle one.
+  for (const bool flush_on_idle : {true, false}) {
+    std::uint64_t now = 0;
+    LiveTransport::Config c = SmallConfig(2, /*coalescing=*/true, /*max_batch=*/8);
+    c.coalesce_flush_deadline_us = 10;
+    c.coalesce_flush_on_idle = flush_on_idle;
+    c.clock_ns = [&now] { return now; };
+    LiveTransport t(c);
+    auto& ep0 = t.endpoint(0);
+
+    ep0.BroadcastUpdate(Upd(7, 1));
+    now += 20'000;  // expired while the node was busy elsewhere
+    ep0.WaitForTraffic(std::chrono::microseconds(1));
+    EXPECT_EQ(t.endpoint(1).batches_received(), 1u)
+        << "the pre-sleep path must not hold an expired batch (flush_on_idle="
+        << flush_on_idle << ")";
+    EXPECT_EQ(ep0.coalescer().flushes(FlushCause::kDeadline), 1u);
+    DrainAll(t.endpoint(1));
+  }
+}
+
 }  // namespace
 }  // namespace cckvs

@@ -12,6 +12,13 @@ throughput/latency fields are compared and reported as a GitHub-flavoured
 markdown table.  Regressions beyond the warn threshold get a warning marker —
 never a failure: smoke runs are short and noisy, the table is a reviewer
 signal, not a gate.  Exit code is always 0.
+
+Model-checker entries are the exception to "noisy": they are deterministic, so
+two outcomes are HARD warnings (a prominent section plus ::warning:: GitHub
+annotations on stderr):
+  * any entry whose `violations` field is nonzero — an invariant broke;
+  * a `states` count that shrank vs. the baseline — the verified scope got
+    accidentally narrower (fewer interleavings explored ≠ safer).
 """
 
 import json
@@ -94,15 +101,38 @@ def main():
 
     warnings = 0
     rows = 0
+    hard = []  # deterministic model-checker regressions: violations / scope shrink
     for name, cur_doc in sorted(current.items()):
         base_doc = baseline.get(name)
+        short = name.removesuffix(".json")
+        for label, cur_entry in cur_doc["entries"].items():
+            if cur_entry.get("violations", 0) > 0:
+                hard.append(
+                    f"{short} `{label}`: violations={cur_entry['violations']:g} "
+                    "— a model-checked invariant FAILED"
+                )
         if base_doc is None:
             print(f"| {name} | _(new bench)_ |" + " — |" * len(FIELDS))
             continue
+        for label, base_entry in base_doc["entries"].items():
+            if base_entry.get("states") and label not in cur_doc["entries"]:
+                hard.append(
+                    f"{short} `{label}`: model-checker scope disappeared "
+                    f"(baseline explored {base_entry['states']:g} states) — "
+                    "the verified scope got narrower"
+                )
         for label, cur_entry in cur_doc["entries"].items():
             base_entry = base_doc["entries"].get(label)
             if base_entry is None:
                 continue
+            base_states = base_entry.get("states")
+            cur_states = cur_entry.get("states")
+            if base_states and cur_states is not None and cur_states < base_states:
+                hard.append(
+                    f"{short} `{label}`: states explored shrank "
+                    f"{base_states:g} → {cur_states:g} — the verified scope "
+                    "got narrower"
+                )
             cells = []
             row_warn = False
             for field, higher in FIELDS:
@@ -113,10 +143,18 @@ def main():
                 cells.append(("⚠️ " if regressed else "") + text)
             warnings += row_warn
             rows += 1
-            short = name.removesuffix(".json")
             print(f"| {short} | {label} | " + " | ".join(cells) + " |")
 
     print()
+    if hard:
+        print("### 🛑 Hard warnings (deterministic model-checker results)")
+        print()
+        for msg in hard:
+            print(f"- 🛑 {msg}")
+            # GitHub annotation; stderr so it lands in the job log, not the
+            # step summary this script's stdout is redirected into.
+            print(f"::warning title=Model-checker regression::{msg}", file=sys.stderr)
+        print()
     if warnings:
         print(
             f"_{warnings}/{rows} entries regressed more than {WARN_PCT:.0f}% — "
