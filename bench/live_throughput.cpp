@@ -14,9 +14,17 @@
 // signal; the bench-smoke JSON artifact tracks both PR-to-PR.
 //
 // Flags (besides the bench_util.h standard --smoke/--json=PATH):
-//   --coalescing=off|on|both   restrict the live sweep to one transport
+//   --coalescing=off|on|both   restrict the live sweep to one coalescing
 //                              config (CI runs off and on as separate jobs so
 //                              both land in the artifact); default both.
+//   --transport=inproc|shm|socket
+//                              fabric backend for the live racks (default
+//                              inproc).  shm/socket route every cross-node
+//                              message through serialized WireBatch frames in
+//                              a shared-memory ring / a UDS stream, so the
+//                              delta against inproc prices the wire.
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstring>
@@ -25,6 +33,24 @@
 #include "bench/bench_util.h"
 #include "src/runtime/live_rack.h"
 
+namespace {
+
+// Each rack gets a fresh kernel namespace: shm segments and socket paths must
+// not collide across the sweep's racks (teardown unlinks, but stale names from
+// a crashed previous run must not bite either).
+cckvs::TransportOptions SweepTransport(cckvs::TransportKind kind) {
+  static int counter = 0;
+  cckvs::TransportOptions t;
+  t.kind = kind;
+  const std::string ns =
+      std::to_string(getpid()) + "_" + std::to_string(counter++);
+  t.shm_name = "/cckvs_bench_" + ns;
+  t.socket_path_base = "/tmp/cckvs_bench_" + ns;
+  return t;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace cckvs;
   using namespace cckvs::bench;
@@ -32,18 +58,30 @@ int main(int argc, char** argv) {
 
   bool run_off = true;
   bool run_on = true;
+  TransportKind transport = TransportKind::kInproc;
+  const char* transport_name = "inproc";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--coalescing=off") == 0) {
       run_on = false;
     } else if (std::strcmp(argv[i], "--coalescing=on") == 0) {
       run_off = false;
+    } else if (std::strcmp(argv[i], "--transport=shm") == 0) {
+      transport = TransportKind::kShm;
+      transport_name = "shm";
+    } else if (std::strcmp(argv[i], "--transport=socket") == 0) {
+      transport = TransportKind::kSocket;
+      transport_name = "socket";
+    } else if (std::strcmp(argv[i], "--transport=inproc") == 0) {
+      transport = TransportKind::kInproc;
+      transport_name = "inproc";
     }
   }
 
   const int kNodes = 8;
   const std::uint64_t ops = Smoke() ? 25'000 : 400'000;
 
-  std::printf("Live rack, %d nodes, 1M keys, 0.1%% cache, 5%% writes, window 32\n", kNodes);
+  std::printf("Live rack, %d nodes, 1M keys, 0.1%% cache, 5%% writes, window 32, "
+              "transport=%s\n", kNodes, transport_name);
   std::printf("(sim prediction: 9-node RDMA rack at the same workload)\n\n");
   std::printf("%-8s %-6s %12s %10s %10s %10s %10s %10s\n", "model", "coal",
               "live Mops/s", "hit%", "msgs", "batches", "avg B", "wakeups");
@@ -56,10 +94,12 @@ int main(int argc, char** argv) {
       if ((coalesce && !run_on) || (!coalesce && !run_off)) {
         continue;
       }
-      const LiveRackParams lp = LiveCoalescingRack(model, coalesce, ops);
+      LiveRackParams lp = LiveCoalescingRack(model, coalesce, ops);
+      lp.transport = SweepTransport(transport);
       const LiveReport lr =
           RunLive(lp, std::string("live ccKVS/") + ToString(model) +
-                          " coalescing=" + (coalesce ? "on" : "off"));
+                          " coalescing=" + (coalesce ? "on" : "off") +
+                          " transport=" + transport_name);
       mops[mi][coalesce ? 1 : 0] = lr.rack.mrps;
       std::printf("%-8s %-6s %12.2f %9.1f%% %10llu %10llu %10.1f %10llu\n",
                   ToString(model), coalesce ? "on" : "off", lr.rack.mrps,
@@ -108,11 +148,12 @@ int main(int argc, char** argv) {
                 "avg B", "p99 us", "fl_deadline", "fl_boundary");
     for (const std::uint64_t deadline_us : {0ull, 5ull, 20ull, 50ull}) {
       LiveRackParams lp = LiveCoalescingRack(ConsistencyModel::kSc, true, ops);
+      lp.transport = SweepTransport(transport);
       lp.coalesce_flush_deadline_us = deadline_us;
       char label[96];
       std::snprintf(label, sizeof(label),
-                    "live ccKVS/SC coalescing=on deadline_us=%llu",
-                    static_cast<unsigned long long>(deadline_us));
+                    "live ccKVS/SC coalescing=on deadline_us=%llu transport=%s",
+                    static_cast<unsigned long long>(deadline_us), transport_name);
       const LiveReport lr = RunLive(lp, label);
       std::printf("%-12llu %12.2f %10.1f %10.1f %12llu %12llu\n",
                   static_cast<unsigned long long>(deadline_us), lr.rack.mrps,

@@ -1,0 +1,231 @@
+// Multi-process live rack: N OS processes, one rack node each, talking over
+// shared-memory rings or UDS/TCP sockets — the cross-process transports from
+// runtime/fabric.h — then a merged consistency-checker verdict.
+//
+//   $ ./multiproc_rack                         # 4 ranks over shm
+//   $ ./multiproc_rack --transport=socket      # 4 ranks over UDS
+//   $ ./multiproc_rack --nodes=8 --ops=50000 --consistency=sc --epochs --drift
+//
+// Spawn-or-join: invoked with no --join flag this process becomes rank 0 —
+// it spawns ranks 1..N-1 (re-exec of this binary with the encoded params),
+// runs its own node, then collects every rank's artifact file, merges the
+// recorded histories into one, and runs the full per-key SC/Lin checkers
+// over the merged run.  Invoked with --join --params=<hex> --out=<path> it
+// joins an existing rack as the rank baked into the params.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/runtime/live_rack.h"
+#include "src/runtime/multiproc.h"
+
+using namespace cckvs;
+
+namespace {
+
+// Runs this process's rank and writes its artifact file.  Exit code 0 iff
+// the transport stayed healthy.
+int RunRank(const LiveRackParams& params, const std::string& out_path) {
+  LiveRack rack(params);
+  const LiveReport report = rack.Run();
+
+  RankArtifacts artifacts;
+  artifacts.completed = report.completed;
+  artifacts.rpcs_sent = report.rpcs_sent;
+  artifacts.transport_error = report.transport_error;
+  if (params.record_history) {
+    artifacts.history = rack.history().ops();
+  }
+  std::string error;
+  if (!SaveRankArtifacts(out_path, artifacts, &error)) {
+    std::fprintf(stderr, "rank %d: %s\n", params.transport.rank, error.c_str());
+    return 2;
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr, "rank %d transport error: %s\n", params.transport.rank,
+                 report.transport_error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool join = false;
+  std::string params_hex;
+  std::string out_path;
+  int nodes = 4;
+  std::uint64_t ops = 20'000;
+  std::string transport = "shm";
+  std::string consistency = "lin";
+  bool epochs = false;
+  bool drift = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* flag) -> const char* {
+      const std::size_t n = std::strlen(flag);
+      return arg.compare(0, n, flag) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (arg == "--join") {
+      join = true;
+    } else if (const char* v = value("--params=")) {
+      params_hex = v;
+    } else if (const char* v = value("--out=")) {
+      out_path = v;
+    } else if (const char* v = value("--nodes=")) {
+      nodes = std::atoi(v);
+    } else if (const char* v = value("--ops=")) {
+      ops = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--transport=")) {
+      transport = v;
+    } else if (const char* v = value("--consistency=")) {
+      consistency = v;
+    } else if (arg == "--epochs") {
+      epochs = true;
+    } else if (arg == "--drift") {
+      drift = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (join) {
+    LiveRackParams params;
+    std::string error;
+    if (!DecodeRackParams(params_hex, &params, &error) || out_path.empty()) {
+      std::fprintf(stderr, "--join: %s\n",
+                   error.empty() ? "missing --out" : error.c_str());
+      return 2;
+    }
+    return RunRank(params, out_path);
+  }
+
+  LiveRackParams params;
+  params.num_nodes = nodes;
+  params.ops_per_node = ops;
+  params.consistency =
+      consistency == "sc" ? ConsistencyModel::kSc : ConsistencyModel::kLin;
+  params.workload.keyspace = 8'192;
+  params.workload.write_ratio = 0.20;
+  params.workload.value_bytes = 24;
+  params.cache_capacity = 128;
+  params.window_per_node = 4;
+  params.record_history = true;
+  if (epochs) {
+    params.online_topk = true;
+    params.topk_epoch_requests = 10'000;
+  }
+  if (drift) {
+    params.workload.drift_period_ops = 10'000;
+    params.workload.drift_rank_shift = 16;
+  }
+  if (!ParseTransportKind(transport, &params.transport.kind) ||
+      params.transport.kind == TransportKind::kInproc) {
+    std::fprintf(stderr, "--transport must be shm or socket\n");
+    return 2;
+  }
+  // Per-run namespaces so concurrent racks on one host cannot collide.
+  const std::string run_id = std::to_string(static_cast<long>(getpid()));
+  params.transport.shm_name = "/cckvs_mp_" + run_id;
+  params.transport.socket_path_base = "/tmp/cckvs_mp_" + run_id;
+  // One clock epoch for the whole rack: merged histories stay comparable.
+  params.clock_epoch_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+
+  std::printf("multiproc rack: %d ranks over %s, %llu ops/rank, %s%s%s\n", nodes,
+              transport.c_str(), static_cast<unsigned long long>(ops),
+              consistency.c_str(), epochs ? ", online epochs" : "",
+              drift ? ", drift" : "");
+
+  auto rank_out = [&run_id](int rank) {
+    return "/tmp/cckvs_mp_" + run_id + ".rank" + std::to_string(rank) + ".bin";
+  };
+
+  // Spawn ranks 1..N-1; this process is rank 0 (and, for shm, the creator —
+  // rank 0 must construct its rack first, which LiveRack does below before
+  // any child can finish attaching).
+  std::vector<pid_t> children;
+  for (int rank = 1; rank < nodes; ++rank) {
+    LiveRackParams child = params;
+    child.transport.rank = rank;
+    std::string error;
+    const pid_t pid =
+        SpawnSelf({"--join", "--params=" + EncodeRackParams(child),
+                   "--out=" + rank_out(rank)},
+                  &error);
+    if (pid < 0) {
+      std::fprintf(stderr, "spawn rank %d: %s\n", rank, error.c_str());
+      return 2;
+    }
+    children.push_back(pid);
+  }
+
+  params.transport.rank = 0;
+  const int rc0 = RunRank(params, rank_out(0));
+
+  bool all_ok = rc0 == 0;
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    int code = -1;
+    std::string error;
+    if (!WaitExit(children[i], &code, &error)) {
+      std::fprintf(stderr, "rank %zu: %s\n", i + 1, error.c_str());
+      all_ok = false;
+    } else if (code != 0) {
+      std::fprintf(stderr, "rank %zu exited with %d\n", i + 1, code);
+      all_ok = false;
+    }
+  }
+
+  // Merge every rank's history and certify the whole multi-process run.
+  History merged;
+  std::uint64_t completed = 0;
+  std::uint64_t rpcs = 0;
+  for (int rank = 0; rank < nodes; ++rank) {
+    RankArtifacts a;
+    std::string error;
+    if (!LoadRankArtifacts(rank_out(rank), &a, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      all_ok = false;
+      continue;
+    }
+    completed += a.completed;
+    rpcs += a.rpcs_sent;
+    for (HistoryOp& op : a.history) {
+      merged.Record(std::move(op));
+    }
+    std::remove(rank_out(rank).c_str());
+  }
+
+  std::printf("  completed %llu ops (%llu served over RPC), merged history: %zu ops\n",
+              static_cast<unsigned long long>(completed),
+              static_cast<unsigned long long>(rpcs), merged.size());
+
+  if (!all_ok) {
+    std::printf("  FAILED: at least one rank reported a transport error\n");
+    return 1;
+  }
+
+  const std::string verdict = params.consistency == ConsistencyModel::kLin
+                                  ? merged.CheckPerKeyLinearizability()
+                                  : merged.CheckPerKeySequentialConsistency();
+  const std::string atomicity = merged.CheckWriteAtomicity();
+  if (!verdict.empty() || !atomicity.empty()) {
+    std::printf("  CONSISTENCY VIOLATION: %s%s\n", verdict.c_str(),
+                atomicity.c_str());
+    return 1;
+  }
+  std::printf("  checkers: per-key %s OK, write atomicity OK\n",
+              consistency.c_str());
+  return 0;
+}

@@ -28,6 +28,12 @@ struct RpcResponse {
   std::uint32_t op_id = 0;
   Value value;  // GET only
   Timestamp ts{};
+  // The home refused to touch the shard because the key is cache-resident
+  // (residency gate up during or after an epoch transition).  The requester
+  // must re-route the op: by the time the bounce lands, its own cache has
+  // usually admitted the key.  The home never parks an RPC — it cannot see
+  // the requester's cache catch up, so parking can deadlock a halted rack.
+  bool gated = false;
 };
 
 inline void SerializeBatch(const std::vector<RpcRequest>& reqs, Buffer* out) {
@@ -65,6 +71,7 @@ inline void SerializeBatch(const std::vector<RpcResponse>& resps, Buffer* out) {
     w.PutU32(resp.op_id);
     w.PutU32(resp.ts.clock);
     w.PutU8(resp.ts.writer);
+    w.PutU8(resp.gated ? 1 : 0);
     w.PutString(resp.value);
   }
 }
@@ -77,6 +84,7 @@ inline std::vector<RpcResponse> DeserializeResponses(const Buffer& in) {
     resp.op_id = r.GetU32();
     resp.ts.clock = r.GetU32();
     resp.ts.writer = static_cast<NodeId>(r.GetU8());
+    resp.gated = r.GetU8() != 0;
     resp.value = r.GetString();
   }
   return resps;

@@ -53,20 +53,50 @@
 #include <variant>
 #include <vector>
 
+#include "src/cckvs/rpc_messages.h"
 #include "src/common/histogram.h"
 #include "src/common/types.h"
 #include "src/protocol/messages.h"
+#include "src/runtime/control_messages.h"
 #include "src/topk/hot_set_messages.h"
 
 namespace cckvs {
 
-// One message on the in-process fabric: the consistency protocol's three
-// classes plus the hot-set subsystem's epoch traffic.  Epoch messages ride
-// the same credited lanes as broadcasts, which both bounds them under the
-// §6.3 credit scheme and keeps them FIFO behind the updates a node sent
-// earlier — the ordering the install barrier depends on (hot_set_manager.h).
-using WireBody = std::variant<UpdateMsg, InvalidateMsg, AckMsg, HotSetAnnounceMsg,
-                              FillMsg, EpochInstalledMsg>;
+// One message on the live fabric: the consistency protocol's three classes,
+// the hot-set subsystem's epoch traffic, the §6.1 RPC miss path (ranked
+// cross-process racks can't read a remote rank's shards through a seqlock, so
+// remote-homed misses travel as RpcRequest/RpcResponse), and the ranked
+// termination handshake (control_messages.h).  Epoch messages ride the same
+// credited lanes as broadcasts, which both bounds them under the §6.3 credit
+// scheme and keeps them FIFO behind the updates a node sent earlier — the
+// ordering the install barrier depends on (hot_set_manager.h).  RPC and Term*
+// traffic is uncredited like acks: responses answer requests one-for-one
+// (bounded by the requester's session window), and at most one probe/status
+// per peer is outstanding per termination round.
+using WireBody =
+    std::variant<UpdateMsg, InvalidateMsg, AckMsg, HotSetAnnounceMsg, FillMsg,
+                 EpochInstalledMsg, RpcRequest, RpcResponse, TermProbeMsg,
+                 TermStatusMsg, TermHaltMsg>;
+
+// Credited lanes spend §6.3 broadcast credits; everything else rides implicit
+// credits (acks answer invalidations, responses answer requests, Term* is
+// bounded per round).  Receivers must count and return credits for exactly
+// the credited classes or the sender's pool leaks/overflows.
+inline bool IsCredited(const WireBody& body) {
+  return std::holds_alternative<UpdateMsg>(body) ||
+         std::holds_alternative<InvalidateMsg>(body) ||
+         std::holds_alternative<HotSetAnnounceMsg>(body) ||
+         std::holds_alternative<FillMsg>(body) ||
+         std::holds_alternative<EpochInstalledMsg>(body);
+}
+
+// Termination-detection control traffic is excluded from the sent/processed
+// counters it is trying to balance (control_messages.h).
+inline bool IsTermControl(const WireBody& body) {
+  return std::holds_alternative<TermProbeMsg>(body) ||
+         std::holds_alternative<TermStatusMsg>(body) ||
+         std::holds_alternative<TermHaltMsg>(body);
+}
 
 // N same-destination messages sharing one channel push and one source id.
 struct WireBatch {

@@ -1,0 +1,56 @@
+// Runtime control-plane messages: distributed termination for ranked racks.
+//
+// A single-process rack detects global quiescence with one shared atomic
+// (LiveTransport::inflight()).  A multi-process rack has no shared memory to
+// put that atomic in (the socket backend spans hosts), so ranked runs use a
+// counting protocol instead — the classic four-counter termination detection
+// over FIFO channels:
+//
+//   * rank 0, once locally quiescent, broadcasts TermProbeMsg{round};
+//   * every rank answers with TermStatusMsg{round, done, sent, processed},
+//     where `sent`/`processed` count data messages only (Term* traffic is
+//     excluded, or the counts would chase their own tail);
+//   * rank 0 declares termination when two consecutive rounds return
+//     identical per-rank counts, every rank reports done, and the global
+//     sums match (sum sent == sum processed).  With per-peer FIFO lanes a
+//     data message still in flight is counted in some sender's `sent` but in
+//     no receiver's `processed`, so the sums cannot match twice in a row —
+//     and a message processed between the rounds changes the snapshot.
+//   * TermHaltMsg releases everyone: histories are sealed, the run is over.
+//
+// Term messages ride the normal transport lanes uncredited (like acks): at
+// most one probe/status per peer is outstanding per round, so the §6.3
+// channel bounds still hold with a constant slack.
+
+#ifndef CCKVS_RUNTIME_CONTROL_MESSAGES_H_
+#define CCKVS_RUNTIME_CONTROL_MESSAGES_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace cckvs {
+
+// Rank 0 -> everyone: report your termination counters for `round`.
+struct TermProbeMsg {
+  std::uint32_t round = 0;
+};
+
+// Everyone -> rank 0: local quiescence + data-message counters at receipt of
+// the probe for `round`.
+struct TermStatusMsg {
+  std::uint32_t round = 0;
+  NodeId rank = 0;
+  bool done = false;
+  std::uint64_t sent = 0;       // data messages committed to delivery
+  std::uint64_t processed = 0;  // data messages whose handler completed
+};
+
+// Rank 0 -> everyone: the rack is globally quiescent; stop pumping.
+struct TermHaltMsg {
+  std::uint32_t round = 0;  // the round that proved termination
+};
+
+}  // namespace cckvs
+
+#endif  // CCKVS_RUNTIME_CONTROL_MESSAGES_H_

@@ -1,5 +1,7 @@
 #include "src/runtime/live_node.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "src/common/check.h"
@@ -22,6 +24,11 @@ LiveNode::LiveNode(LiveRack* rack, NodeId id, WorkloadGenerator gen)
       gen_(std::move(gen)) {
   const LiveRackParams& p = rack->params();
   quota_ = p.ops_per_node;
+  ranked_ = rack->ranked();
+  coordinator_ = ranked_ && id == 0;
+  if (coordinator_) {
+    prev_counts_.resize(static_cast<std::size_t>(p.num_nodes));
+  }
 
   PartitionConfig pc;
   pc.buckets = p.partition_buckets;
@@ -59,6 +66,7 @@ LiveNode::LiveNode(LiveRack* rack, NodeId id, WorkloadGenerator gen)
     sessions_[s].id = static_cast<SessionId>(id) * 100000u + static_cast<SessionId>(s);
   }
   idle_sessions_ = sessions_.size();
+  rpc_waiting_.assign(sessions_.size(), 0);
 }
 
 void LiveNode::PrefillHotSet(const std::vector<Key>& hot_keys) {
@@ -84,7 +92,33 @@ SimTime LiveNode::NowTs() {
 }
 
 void LiveNode::Run(StopToken stop) {
+  const bool debug_state = std::getenv("CCKVS_DEBUG_STATE") != nullptr;
+  SimTime last_dump = 0;
   while (true) {
+    if (debug_state) {
+      const SimTime now = rack_->clock_ns();
+      if (now - last_dump > 2'000'000'000ull) {
+        last_dump = now;
+        std::fprintf(stderr,
+                     "[node %d] halted=%d idle=%zu/%zu parked_sc=%zu gated=%zu "
+                     "rpc_out=%zu quiesc=%d pending=%d engineq=%d "
+                     "completed=%llu sent=%llu proc=%llu round=%u open=%d stat=%zu\n",
+                     int{id_}, halted_, idle_sessions_, sessions_.size(),
+                     parked_sc_writes_.size(), parked_gated_.size(),
+                     rpc_outstanding_,
+                     ranked_ ? LocallyQuiescent() : done_, !ep_->NothingPending(),
+                     engine_->Quiescent(),
+                     static_cast<unsigned long long>(counters_.completed),
+                     static_cast<unsigned long long>(ep_->data_sent()),
+                     static_cast<unsigned long long>(ep_->data_processed()),
+                     term_round_, round_open_, round_status_.size());
+      }
+    }
+    if (rack_->transport().fabric().faulted()) {
+      // A fabric fault (peer hangup mid-frame, undecodable frame) cannot heal;
+      // bail out so the run reports the error instead of hanging on drain.
+      return;
+    }
     const std::size_t processed = PollInbound(kPollBatch);
     ep_->FlushPending();       // credits may have come back
     RetryParkedScWrites();
@@ -107,24 +141,33 @@ void LiveNode::Run(StopToken stop) {
     // NothingPending().
     ep_->FlushBatches(FlushCause::kBoundary);
 
-    if (!done_ && halted_ && AllSessionsIdle() && parked_sc_writes_.empty() &&
-        ep_->NothingPending() && engine_->Quiescent()) {
-      // Locally quiescent: no client work, no parked protocol work.  This is
-      // monotonic — with no local ops, incoming messages can only be updates
-      // (no sends) or invalidations (ack rides implicit credits).
-      done_ = true;
-      rack_->OnNodeDone();
-    }
-    if (done_ && rack_->AllNodesDone() && rack_->transport().inflight() == 0) {
-      // No node can create new messages and none are in flight: the rack is
-      // globally quiescent, histories are sealed.
-      return;
+    if (ranked_) {
+      // Multi-process: no shared inflight atomic to consult, so global
+      // quiescence is certified by the counting protocol instead.
+      if (RankedTermination()) {
+        return;
+      }
+    } else {
+      if (!done_ && halted_ && AllSessionsIdle() && parked_sc_writes_.empty() &&
+          ep_->NothingPending() && engine_->Quiescent()) {
+        // Locally quiescent: no client work, no parked protocol work.  This is
+        // monotonic — with no local ops, incoming messages can only be updates
+        // (no sends) or invalidations (ack rides implicit credits).
+        done_ = true;
+        rack_->OnNodeDone();
+      }
+      if (done_ && rack_->AllNodesDone() && rack_->transport().inflight() == 0) {
+        // No node can create new messages and none are in flight: the rack is
+        // globally quiescent, histories are sealed.
+        return;
+      }
     }
 
     if (processed == 0 && !issued && !gated_progress) {
       // Nothing to do right now.  Credit returns are silent (atomic adds), so
       // bound the sleep rather than waiting for a message that may not come.
-      ep_->WaitForTraffic(std::chrono::microseconds(done_ ? 50 : 200));
+      const bool settled = ranked_ ? LocallyQuiescent() : done_;
+      ep_->WaitForTraffic(std::chrono::microseconds(settled ? 50 : 200));
     }
   }
 }
@@ -159,11 +202,32 @@ std::size_t LiveNode::PollInbound(std::size_t max) {
       if (hot_mgr_ != nullptr) {
         hot_mgr_->ApplyFill(*fill);
       }
-    } else {
-      const auto& installed = std::get<EpochInstalledMsg>(body);
+    } else if (const auto* installed = std::get_if<EpochInstalledMsg>(&body)) {
       if (hot_mgr_ != nullptr) {
-        hot_mgr_->DrivePeerInstalled(src, installed.epoch);
+        hot_mgr_->DrivePeerInstalled(src, installed->epoch);
       }
+    } else if (const auto* req = std::get_if<RpcRequest>(&body)) {
+      ServeRpc(src, *req);
+    } else if (const auto* resp = std::get_if<RpcResponse>(&body)) {
+      OnRpcResponse(*resp);
+    } else if (const auto* probe = std::get_if<TermProbeMsg>(&body)) {
+      // Answer with this rank's counters *now* — after the probe itself has
+      // been counted as processed (Poll increments before this handler runs
+      // only for data messages; Term* are excluded on both sides).
+      TermStatusMsg status;
+      status.round = probe->round;
+      status.rank = id_;
+      status.done = LocallyQuiescent();
+      status.sent = ep_->data_sent();
+      status.processed = ep_->data_processed();
+      ep_->SendDirect(src, WireBody{status});
+    } else if (const auto* status = std::get_if<TermStatusMsg>(&body)) {
+      if (coordinator_ && round_open_ && status->round == term_round_) {
+        round_status_.push_back(*status);
+      }
+    } else {
+      CCKVS_CHECK(std::holds_alternative<TermHaltMsg>(body));
+      halt_ = true;
     }
   });
 }
@@ -286,6 +350,12 @@ void LiveNode::RouteMissOp(std::uint32_t slot) {
   // either settled into the shard or admitted into this node's cache.
   Session& sess = sessions_[slot];
   const Key key = sess.op.key;
+  if (ranked_ && rack_->HomeOf(key) != id_) {
+    // Multi-process rack: the home shard lives in another address space, so
+    // the direct load/store is out of reach — fall back to the §6.1 RPC path.
+    SendRpc(slot);
+    return;
+  }
   Partition& home = rack_->PartitionOf(key);
   if (sess.op.type == OpType::kGet) {
     Value value;
@@ -340,6 +410,151 @@ void LiveNode::RetryParkedScWrites() {
     parked_sc_writes_.pop_front();
     StartCacheWrite(slot);
   }
+}
+
+// --- ranked (multi-process) mode ---
+
+void LiveNode::SendRpc(std::uint32_t slot) {
+  Session& sess = sessions_[slot];
+  RpcRequest req;
+  req.op_id = slot;  // session slots are stable until the response lands
+  req.op = sess.op.type;
+  req.key = sess.op.key;
+  if (sess.op.type == OpType::kPut) {
+    req.value = sess.op.value;
+  }
+  ep_->SendDirect(rack_->HomeOf(sess.op.key), WireBody{std::move(req)});
+  rpc_waiting_[slot] = 1;
+  ++rpc_outstanding_;
+  ++counters_.rpcs_sent;
+}
+
+void LiveNode::ServeRpc(NodeId src, const RpcRequest& req) {
+  // Same shard semantics as a local miss, except the residency gate bounces
+  // instead of parking: the gate clears when the requester's own cache admits
+  // the key (hot-set announce in flight), which only the requester can see.
+  // Parking here would deadlock a halted rack whose final hot set keeps the
+  // key resident forever.  The reply completes (or re-routes) the requester's
+  // session; PUT responses echo the commit timestamp.
+  CCKVS_DCHECK(rack_->HomeOf(req.key) == id_);
+  RpcResponse resp;
+  resp.op_id = req.op_id;
+  if (req.op == OpType::kGet) {
+    Value value;
+    Timestamp ts;
+    bool resident = false;
+    const bool ok = partition_->Get(req.key, &value, &ts, &resident);
+    CCKVS_CHECK(ok);
+    if (resident) {
+      resp.gated = true;
+    } else {
+      resp.value = std::move(value);
+      resp.ts = ts;
+    }
+  } else {
+    Timestamp ts;
+    if (!partition_->TryPut(req.key, req.value, &ts)) {
+      resp.gated = true;
+    } else {
+      resp.ts = ts;
+    }
+  }
+  ep_->SendDirect(src, WireBody{std::move(resp)});
+}
+
+void LiveNode::OnRpcResponse(const RpcResponse& resp) {
+  const std::uint32_t slot = resp.op_id;
+  CCKVS_CHECK_LT(slot, sessions_.size());
+  CCKVS_CHECK(rpc_waiting_[slot]);
+  rpc_waiting_[slot] = 0;
+  --rpc_outstanding_;
+  if (resp.gated) {
+    // Home shard is behind the residency gate.  Park locally and re-route at
+    // the next pump — RouteOp probes the cache first, so once the announce
+    // and fill land the op completes as a hit; until then it re-RPCs, paced
+    // by the run loop's idle sleep.  Same retry loop the single-process miss
+    // path uses, stretched across the wire.
+    ++counters_.gate_retries;
+    parked_gated_.push_back(slot);
+    return;
+  }
+  Session& sess = sessions_[slot];
+  CompleteOp(slot,
+             sess.op.type == OpType::kGet ? resp.value : sess.op.value,
+             resp.ts, /*via_cache=*/false);
+}
+
+bool LiveNode::LocallyQuiescent() const {
+  // Outstanding client RPCs keep their sessions non-idle, so AllSessionsIdle
+  // covers rpc_outstanding_ too; gated ops bounced back by a home owe a
+  // re-route and count as local work.
+  return halted_ && AllSessionsIdle() && parked_sc_writes_.empty() &&
+         parked_gated_.empty() && ep_->NothingPending() && engine_->Quiescent();
+}
+
+bool LiveNode::RankedTermination() {
+  if (halt_) {
+    // Coordinator certified global quiescence (or told us so): one last flush
+    // so our own halt/status bytes are on the wire, then exit.
+    ep_->FlushBatches(FlushCause::kBoundary);
+    return true;
+  }
+  if (!coordinator_) {
+    return false;
+  }
+  const int n = rack_->params().num_nodes;
+  if (round_open_ && round_status_.size() == static_cast<std::size_t>(n)) {
+    // Round complete: evaluate.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> counts(
+        static_cast<std::size_t>(n));
+    bool all_done = true;
+    std::uint64_t sum_sent = 0;
+    std::uint64_t sum_processed = 0;
+    for (const TermStatusMsg& s : round_status_) {
+      counts[static_cast<std::size_t>(s.rank)] = {s.sent, s.processed};
+      all_done &= s.done;
+      sum_sent += s.sent;
+      sum_processed += s.processed;
+    }
+    const bool stable = prev_valid_ && counts == prev_counts_;
+    prev_counts_ = counts;
+    prev_valid_ = true;
+    round_open_ = false;
+    round_status_.clear();
+    if (stable && all_done && sum_sent == sum_processed) {
+      // Two identical rounds, everyone done, no data message unaccounted for:
+      // the rack is globally quiescent.  Release the peers and exit.
+      for (NodeId peer = 0; peer < static_cast<NodeId>(n); ++peer) {
+        if (peer != id_) {
+          ep_->SendDirect(peer, WireBody{TermHaltMsg{term_round_}});
+        }
+      }
+      ep_->FlushBatches(FlushCause::kBoundary);
+      halt_ = true;
+      return true;
+    }
+  }
+  if (!round_open_ && LocallyQuiescent()) {
+    const SimTime now = rack_->clock_ns();
+    if (now - last_probe_ns_ > 200'000) {  // ≥200µs between rounds
+      ++term_round_;
+      round_open_ = true;
+      last_probe_ns_ = now;
+      // Seed our own status; peers answer the probe.
+      TermStatusMsg self_status;
+      self_status.round = term_round_;
+      self_status.rank = id_;
+      self_status.done = true;
+      self_status.sent = ep_->data_sent();
+      self_status.processed = ep_->data_processed();
+      round_status_.push_back(self_status);
+      for (NodeId peer = 1; peer < static_cast<NodeId>(n); ++peer) {
+        ep_->SendDirect(peer, WireBody{TermProbeMsg{term_round_}});
+      }
+      ep_->FlushBatches(FlushCause::kBoundary);
+    }
+  }
+  return false;
 }
 
 void LiveNode::CompleteOp(std::uint32_t slot, const Value& read_value, Timestamp ts,

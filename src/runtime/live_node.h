@@ -24,8 +24,10 @@
 #include <vector>
 
 #include "src/cache/symmetric_cache.h"
+#include "src/cckvs/rpc_messages.h"
 #include "src/common/histogram.h"
 #include "src/protocol/engine.h"
+#include "src/runtime/control_messages.h"
 #include "src/runtime/stop.h"
 #include "src/runtime/transport.h"
 #include "src/store/partition.h"
@@ -62,6 +64,7 @@ class LiveNode final : private HotSetHost {
     std::uint64_t miss_completed = 0;
     std::uint64_t sc_credit_stalls = 0;
     std::uint64_t gate_retries = 0;  // shard ops parked on the residency gate
+    std::uint64_t rpcs_sent = 0;     // ranked mode: remote-home misses over RPC
   };
   const Counters& counters() const { return counters_; }
   const Histogram& latency() const { return latency_; }
@@ -79,6 +82,20 @@ class LiveNode final : private HotSetHost {
   };
 
   std::size_t PollInbound(std::size_t max);
+  // --- ranked (multi-process) mode ---
+  // Remote-homed miss: ship the op to the home rank over the §6.1 RPC path
+  // (op_id = session slot); the response completes the session.
+  void SendRpc(std::uint32_t slot);
+  // Serve a peer's RPC against the local shard; parks behind the residency
+  // gate exactly like a local miss would.
+  void ServeRpc(NodeId src, const RpcRequest& req);
+  void OnRpcResponse(const RpcResponse& resp);
+  // True when this rank can neither create nor owe any protocol message.
+  bool LocallyQuiescent() const;
+  // Four-counter termination (control_messages.h).  Returns true when the
+  // run loop should exit: either rank 0 certified global quiescence twice in
+  // a row and broadcast the halt, or we received the halt.
+  bool RankedTermination();
   bool FillIdleSessions();
   void IssueOp(std::uint32_t slot);
   // Routes the slot's already-generated op: cache path on a probe hit, else
@@ -124,6 +141,23 @@ class LiveNode final : private HotSetHost {
   std::uint64_t quota_ = 0;
   bool halted_ = false;  // stopped issuing new ops
   bool done_ = false;    // locally quiescent, reported to the rack
+
+  // --- ranked-mode state ---
+  bool ranked_ = false;
+  bool coordinator_ = false;  // ranked_ && rank 0: runs the termination probe
+  bool halt_ = false;         // TermHalt seen (or sent): exit after a flush
+  std::vector<std::uint8_t> rpc_waiting_;  // per-slot: op is out on the wire
+  std::size_t rpc_outstanding_ = 0;
+  // Inbound RPCs parked behind the residency gate, retried by the run loop.
+  // Coordinator probe-round state: statuses collected this round, and the
+  // previous round's (sent, processed) per rank for the two-identical-rounds
+  // stability test.
+  std::uint32_t term_round_ = 0;
+  bool round_open_ = false;
+  std::vector<TermStatusMsg> round_status_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> prev_counts_;
+  bool prev_valid_ = false;
+  SimTime last_probe_ns_ = 0;
 
   Counters counters_;
   Histogram latency_;

@@ -16,18 +16,22 @@ LiveTransport::Config TransportConfig(const LiveRackParams& p) {
   c.credit_update_batch = p.credit_update_batch;
   // A node's inbound channel holds at most (n-1)*credits credited broadcasts
   // plus (n-1)*window implicit-credit acks (one per outstanding invalidation
-  // of at most `window` in-flight local writes).  Size to that bound so Push
+  // of at most `window` in-flight local writes), plus — in ranked mode —
+  // (n-1)*window inbound RPC requests, `window` responses, and a couple of
+  // termination-control messages per peer.  Size to that bound so delivery
   // never blocks; the slack absorbs nothing in theory, everything in practice.
   c.channel_capacity =
       static_cast<std::size_t>(p.num_nodes - 1) *
-          static_cast<std::size_t>(p.bcast_credits_per_peer + p.window_per_node) +
-      64;
+          static_cast<std::size_t>(p.bcast_credits_per_peer +
+                                   2 * p.window_per_node + 2) +
+      static_cast<std::size_t>(p.window_per_node) + 64;
   // Coalescing only lowers the push count against the same message bound
   // (every batch carries ≥ 1 message), so the capacity above stays valid.
   c.coalescing = p.coalescing;
   c.coalesce_max_batch = p.coalesce_max_batch;
   c.coalesce_flush_on_idle = p.coalesce_flush_on_idle;
   c.coalesce_flush_deadline_us = p.coalesce_flush_deadline_us;
+  c.transport = p.transport;
   return c;
 }
 
@@ -51,32 +55,51 @@ LiveRack::LiveRack(const LiveRackParams& params)
     : params_(params),
       transport_(TransportConfig(params)),
       partitioner_(params.num_nodes),
-      epoch_(std::chrono::steady_clock::now()) {
+      epoch_(params.clock_epoch_ns != 0
+                 ? std::chrono::steady_clock::time_point(
+                       std::chrono::nanoseconds(params.clock_epoch_ns))
+                 : std::chrono::steady_clock::now()) {
   CCKVS_CHECK_GE(params_.num_nodes, 2);
   CCKVS_CHECK_GE(params_.window_per_node, 1);
   CCKVS_CHECK_GE(params_.workload.value_bytes, 13u);  // MakeWriteValue floor
+  CCKVS_CHECK_LT(params_.transport.rank, params_.num_nodes);
+
+  if (!transport_.ok()) {
+    return;  // Run() surfaces init_error as LiveReport::transport_error
+  }
 
   std::vector<WorkloadGenerator> gens =
       MakePerThreadGenerators(params_.workload, params_.num_nodes, params_.seed);
+  nodes_.resize(static_cast<std::size_t>(params_.num_nodes));
   for (int i = 0; i < params_.num_nodes; ++i) {
-    nodes_.push_back(std::make_unique<LiveNode>(this, static_cast<NodeId>(i),
-                                                std::move(gens[static_cast<std::size_t>(i)])));
+    if (!IsLocal(static_cast<NodeId>(i))) {
+      continue;  // ranked: that node lives in another process
+    }
+    nodes_[static_cast<std::size_t>(i)] =
+        std::make_unique<LiveNode>(this, static_cast<NodeId>(i),
+                                   std::move(gens[static_cast<std::size_t>(i)]));
   }
 
   if (params_.prefill_hot_set) {
     // Symmetric prefill: every node caches the ground-truth (phase-0) hot
-    // set, so runs start in the steady state the paper measures.
+    // set, so runs start in the steady state the paper measures.  Every rank
+    // runs this same code, so collectively all shards get their gates raised
+    // even though each process only touches its local shard.
     WorkloadGenerator probe(params_.workload, /*writer_tag=*/0, /*seed=*/0);
     const std::vector<Key> hot = probe.HottestKeys(params_.cache_capacity);
     if (params_.online_topk) {
       // Epochs will manage membership from here on: raise each key's shard
       // residency gate now, exactly as an epoch admission would have.
       for (const Key key : hot) {
-        PartitionOf(key).MarkCacheResident(key);
+        if (IsLocal(HomeOf(key))) {
+          PartitionOf(key).MarkCacheResident(key);
+        }
       }
     }
     for (auto& node : nodes_) {
-      node->PrefillHotSet(hot);
+      if (node != nullptr) {
+        node->PrefillHotSet(hot);
+      }
     }
   }
 }
@@ -87,10 +110,19 @@ LiveReport LiveRack::Run() {
   CCKVS_CHECK(!ran_ && "LiveRack::Run is single-shot");
   ran_ = true;
 
+  if (!transport_.ok()) {
+    LiveReport report;
+    report.transport_error = transport_.init_error();
+    return report;
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   threads.reserve(nodes_.size());
   for (auto& node : nodes_) {
+    if (node == nullptr) {
+      continue;
+    }
     threads.emplace_back([&node, token = stop_.token()] { node->Run(token); });
   }
   for (std::thread& t : threads) {
@@ -108,6 +140,9 @@ LiveReport LiveRack::Run() {
   std::uint64_t miss = 0;
   Histogram latency;
   for (int i = 0; i < params_.num_nodes; ++i) {
+    if (nodes_[static_cast<std::size_t>(i)] == nullptr) {
+      continue;  // ranked: remote ranks report from their own process
+    }
     const LiveNode& node = *nodes_[static_cast<std::size_t>(i)];
     const LiveNode::Counters& c = node.counters();
     report.completed += c.completed;
@@ -115,6 +150,7 @@ LiveReport LiveRack::Run() {
     miss += c.miss_completed;
     report.sc_credit_stalls += c.sc_credit_stalls;
     report.gate_retries += c.gate_retries;
+    report.rpcs_sent += c.rpcs_sent;
     latency.Merge(node.latency());
     AddEngineStats(node.engine().stats(), &report.engine_totals);
 
@@ -148,18 +184,25 @@ LiveReport LiveRack::Run() {
   FillThroughput(report.completed, hit, miss, wall_seconds * 1e9, &report.rack);
   FillLatency(latency, &report.rack);
 
-  if (const HotSetManager* coord = nodes_[0]->hot_set_manager(); coord != nullptr) {
-    report.rack.epochs = coord->epochs_closed();
-    report.rack.hot_set_churn = coord->last_epoch_churn();
+  if (nodes_[0] != nullptr) {
+    if (const HotSetManager* coord = nodes_[0]->hot_set_manager(); coord != nullptr) {
+      report.rack.epochs = coord->epochs_closed();
+      report.rack.hot_set_churn = coord->last_epoch_churn();
+    }
   }
 
   if (params_.record_history) {
     for (auto& node : nodes_) {
+      if (node == nullptr) {
+        continue;
+      }
       for (const HistoryOp& op : node->history_ops()) {
         history_.Record(op);
       }
     }
   }
+
+  report.transport_error = transport_.fabric().error();
   return report;
 }
 

@@ -93,6 +93,18 @@ struct LiveRackParams {
 
   bool record_history = false;  // sealed per-key history for the checkers
   std::uint64_t seed = 1;
+
+  // Which fabric carries protocol traffic (inproc | shm | socket) and — for
+  // multi-process racks — which rank this process is (transport.rank >= 0:
+  // this process runs exactly one node; peers are other processes).  In
+  // ranked mode remote-homed misses travel over the §6.1 RPC path instead of
+  // the direct seqlock read, and the rack terminates via the counting
+  // protocol in control_messages.h.
+  TransportOptions transport;
+  // Shared history-clock epoch for ranked racks (CLOCK_MONOTONIC is machine-
+  // wide, so ranks agreeing on one epoch get comparable HistoryOp times).
+  // 0 = epoch at rack construction, the single-process behaviour.
+  std::uint64_t clock_epoch_ns = 0;
 };
 
 class LiveRack {
@@ -114,7 +126,16 @@ class LiveRack {
   LiveTransport& transport() { return transport_; }
   const LiveNode& node(NodeId id) const { return *nodes_[id]; }
 
+  // Ranked = multi-process: this process owns one node; the fabric reaches
+  // the rest.  All-in-one (rank < 0) is the classic single-process rack.
+  bool ranked() const { return params_.transport.rank >= 0; }
+  bool IsLocal(NodeId id) const {
+    return !ranked() || id == static_cast<NodeId>(params_.transport.rank);
+  }
+
   NodeId HomeOf(Key key) const { return partitioner_.HomeOf(key); }
+  // Local shards only: in ranked mode a remote home has no Partition in this
+  // process (misses go over RPC instead).
   Partition& PartitionOf(Key key) { return nodes_[HomeOf(key)]->partition(); }
 
   // Monotonic nanoseconds since construction; the live history clock.

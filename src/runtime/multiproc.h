@@ -1,0 +1,57 @@
+// Multi-process rack plumbing: parameter hand-off, per-rank artifact files,
+// and a spawn helper.
+//
+// A ranked rack is N processes running the same binary, each constructing an
+// identical LiveRackParams except for transport.rank.  The launcher (rank 0,
+// or a driver like tools/run_multiproc.sh) encodes the params once as a hex
+// blob, passes it on each child's command line, and collects one artifact
+// file per rank afterwards: the rank's completed-op count, its transport
+// error (empty = healthy), and — when record_history is on — its sealed
+// HistoryOp list, ready to merge into one History for the verify/ checkers.
+//
+// The blob is little-endian + versioned and decoded with the non-aborting
+// SafeReader, so a stale launcher and a new node binary fail with an error
+// string instead of a CHECK abort.
+
+#ifndef CCKVS_RUNTIME_MULTIPROC_H_
+#define CCKVS_RUNTIME_MULTIPROC_H_
+
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "src/runtime/live_rack.h"
+#include "src/verify/history.h"
+
+namespace cckvs {
+
+// LiveRackParams <-> printable hex blob (safe for argv / env).  The rank is
+// part of the blob; launchers overwrite params.transport.rank per child
+// before encoding.  Decode returns false and fills *error on a truncated,
+// trailing-garbage or version-mismatched blob.
+std::string EncodeRackParams(const LiveRackParams& params);
+bool DecodeRackParams(const std::string& hex, LiveRackParams* out, std::string* error);
+
+// What one rank hands back to the launcher.
+struct RankArtifacts {
+  std::uint64_t completed = 0;
+  std::uint64_t rpcs_sent = 0;
+  std::string transport_error;       // empty = healthy run
+  std::vector<HistoryOp> history;    // empty unless params.record_history
+};
+
+bool SaveRankArtifacts(const std::string& path, const RankArtifacts& artifacts,
+                       std::string* error);
+bool LoadRankArtifacts(const std::string& path, RankArtifacts* out, std::string* error);
+
+// fork + exec /proc/self/exe with the given arguments (argv[0] is supplied by
+// the helper).  Returns the child pid, or -1 with *error filled.
+pid_t SpawnSelf(const std::vector<std::string>& args, std::string* error);
+
+// waitpid wrapper: true iff the child exited normally; *exit_code receives
+// its status (or -1 on signal/abnormal exit, with the reason in *error).
+bool WaitExit(pid_t pid, int* exit_code, std::string* error);
+
+}  // namespace cckvs
+
+#endif  // CCKVS_RUNTIME_MULTIPROC_H_

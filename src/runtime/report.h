@@ -11,6 +11,7 @@
 #define CCKVS_RUNTIME_REPORT_H_
 
 #include <cstdint>
+#include <string>
 
 #include "src/cckvs/params.h"
 #include "src/common/histogram.h"
@@ -52,6 +53,16 @@ struct LiveReport {
   std::uint64_t store_read_retries = 0;
   std::uint64_t slab_live_slots = 0;
   std::uint64_t slab_arena_bytes = 0;
+
+  // Cross-process transport (runtime/fabric.h).  In a ranked rack this
+  // report covers the LOCAL rank only (merge across ranks for rack totals).
+  // transport_error is empty on a healthy run; a fabric fault (peer hangup
+  // mid-frame, connect refused, undecodable frame) lands here instead of
+  // hanging the run.
+  std::string transport_error;
+  std::uint64_t rpcs_sent = 0;  // ranked-mode remote-home misses served by RPC
+
+  bool ok() const { return transport_error.empty(); }
 };
 
 }  // namespace cckvs

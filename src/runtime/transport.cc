@@ -37,20 +37,37 @@ LiveTransport::LiveTransport(const Config& config) : config_(config) {
   // peer, so the pool must be strictly larger or senders can park forever.
   CCKVS_CHECK_GT(config.bcast_credits_per_peer, config.credit_update_batch);
   CCKVS_CHECK_GE(config.coalesce_max_batch, 1);
+  FabricConfig fc;
+  fc.num_nodes = config.num_nodes;
+  fc.channel_capacity = config.channel_capacity;
+  fabric_ = MakeFabric(fc, config.transport, &init_error_);
+  if (fabric_ == nullptr) {
+    return;  // ok() == false; init_error_ says why
+  }
+  endpoints_.resize(static_cast<std::size_t>(config.num_nodes));
+  const int rank = config.transport.rank;
   for (int i = 0; i < config.num_nodes; ++i) {
-    endpoints_.push_back(std::make_unique<Endpoint>(this, static_cast<NodeId>(i)));
+    if (rank >= 0 && i != rank) {
+      continue;  // ranked: peers live in other processes
+    }
+    endpoints_[static_cast<std::size_t>(i)] =
+        std::make_unique<Endpoint>(this, static_cast<NodeId>(i));
+  }
+}
+
+LiveTransport::~LiveTransport() {
+  if (fabric_ != nullptr) {
+    fabric_->Shutdown();  // stop rx machinery before endpoints die
   }
 }
 
 LiveTransport::Endpoint::Endpoint(LiveTransport* transport, NodeId self)
     : transport_(transport),
       self_(self),
-      inbox_(transport->config_.channel_capacity),
       coalescer_(MakeCoalescerConfig(transport->config_, self)),
       bcast_credits_(transport->config_.num_nodes,
                      transport->config_.bcast_credits_per_peer),
       batcher_(transport->config_.num_nodes, transport->config_.credit_update_batch),
-      returned_(static_cast<std::size_t>(transport->config_.num_nodes)),
       pending_(static_cast<std::size_t>(transport->config_.num_nodes)) {}
 
 void LiveTransport::Endpoint::Enqueue(NodeId to, WireBody body) {
@@ -58,7 +75,10 @@ void LiveTransport::Endpoint::Enqueue(NodeId to, WireBody body) {
   // under-reports a consumable message; the receiver decrements after its
   // handler finishes.  Messages waiting in an open batch are in flight: they
   // are past credit accounting and committed to delivery.
-  transport_->inflight_.fetch_add(1, std::memory_order_acq_rel);
+  fabric().AddInflight(1);
+  if (!IsTermControl(body)) {
+    ++data_sent_;
+  }
   if (coalescer_.Append(to, std::move(body))) {
     DeliverBatch(to, coalescer_.Take(to, FlushCause::kSize));
   }
@@ -68,7 +88,7 @@ void LiveTransport::Endpoint::DeliverBatch(NodeId to, WireBatch batch) {
   if (batch.msgs.empty()) {
     return;
   }
-  transport_->endpoints_[to]->inbox_.Push(std::move(batch));
+  fabric().Deliver(to, std::move(batch));
 }
 
 void LiveTransport::Endpoint::FlushBatches(FlushCause cause) {
@@ -96,7 +116,7 @@ void LiveTransport::Endpoint::FlushBatches(FlushCause cause) {
 }
 
 void LiveTransport::Endpoint::HarvestCredits(NodeId peer) {
-  const int n = returned_[peer].exchange(0, std::memory_order_acquire);
+  const int n = fabric().TakeReturnedCredits(self_, peer);
   if (n > 0) {
     bcast_credits_.Release(peer, n);
   }
@@ -154,6 +174,10 @@ void LiveTransport::Endpoint::SendAck(NodeId to, const AckMsg& msg) {
   ++acks_sent_;
 }
 
+void LiveTransport::Endpoint::SendDirect(NodeId to, WireBody body) {
+  Enqueue(to, std::move(body));
+}
+
 void LiveTransport::Endpoint::FlushPending() {
   for (int j = 0; j < transport_->config_.num_nodes; ++j) {
     if (j == self_ || pending_[j].empty()) {
@@ -208,8 +232,7 @@ void LiveTransport::Endpoint::WaitForTraffic(std::chrono::microseconds timeout) 
       FlushBatches(FlushCause::kIdle);
     }
   }
-  std::vector<WireBatch> none;
-  inbox_.WaitDrain(&none, /*max=*/0, timeout);  // wakes early on arrival
+  fabric().Wait(self_, timeout);
 }
 
 }  // namespace cckvs

@@ -1,44 +1,44 @@
-// In-process transport for the live rack: MPSC channels + credit backpressure
-// + per-peer message coalescing (runtime/coalescer.h).
+// Live-rack transport: credit backpressure + per-peer message coalescing
+// (runtime/coalescer.h) over a pluggable delivery fabric (runtime/fabric.h).
 //
 // Each node owns an Endpoint.  The endpoint implements the consistency
 // engines' MessageSink on the send side and exposes a Poll() pump on the
 // receive side, so the exact ScEngine/LinEngine production code runs on real
-// threads with no changes — the engine still sees a single-threaded host
-// (only the owning node's thread calls into it; peers only enqueue).
+// threads — or real processes — with no changes: the engine still sees a
+// single-threaded host (only the owning node's thread calls into it; peers
+// only deliver through the fabric).
 //
-// Channel traffic is per-batch: outgoing messages append to per-peer
-// WireBatch buffers in the SendCoalescer and ship as one channel push when a
+// Fabric traffic is per-batch: outgoing messages append to per-peer
+// WireBatch buffers in the SendCoalescer and ship as one Deliver() when a
 // flush policy fires (size cap, the host's op-boundary flush, or the
 // pre-sleep idle backstop) — the live analogue of §8.5's header
 // amortization.  With Config::coalescing off the same path runs with batch
 // size 1.  Per-peer FIFO order — the invalidation-then-update order the Lin
 // protocol relies on, and the lanes the hot-set install barrier rides — is
-// preserved across batch boundaries: batches close in append order, and the
-// channel itself is FIFO.
+// preserved across batch boundaries: batches close in append order, and
+// every fabric lane is FIFO (that is the fabric contract, conformance-tested
+// per backend).
 //
 // Flow control stays per-MESSAGE and mirrors §6.3/§6.4 via the simulator's
 // own primitives (src/rdma/flow_control.h):
 //
-//  * Broadcast traffic (updates, invalidations) spends explicit per-peer
-//    credits from a CreditPool before entering a batch.  With no credit — or
-//    with earlier messages already parked — the message queues in a per-peer
-//    FIFO ahead of the coalescer, preserving send order.  Receivers count
-//    every received message and return credits in batches
-//    (CreditUpdateBatcher); the return ride is a per-direction atomic
-//    counter, the live analogue of the header-only credit-update message.
-//  * Acks ride on implicit credits: they answer invalidations one-for-one, so
-//    the writer's outstanding invalidations already bound them and they
-//    bypass the pool — exactly the sim's RackNode::SendAck.
+//  * Broadcast traffic (updates, invalidations, epoch messages) spends
+//    explicit per-peer credits from a CreditPool before entering a batch.
+//    With no credit — or with earlier messages already parked — the message
+//    queues in a per-peer FIFO ahead of the coalescer, preserving send
+//    order.  Receivers count every credited message and return credits in
+//    batches (CreditUpdateBatcher); the return rides the fabric's credit
+//    path — an atomic add in-process, a credit frame on the wire.
+//  * Acks, RPC request/response pairs, and termination control messages ride
+//    implicit credits: each is bounded by what it answers (invalidations,
+//    the requester's session window, one probe per round), so they bypass
+//    the pool — exactly the sim's RackNode::SendAck.
 //
 // inflight() likewise counts MESSAGES — from the moment one enters an open
 // batch (committed to delivery) until its receive handler completes — so the
-// rack's drain-phase exit condition is unchanged by batching.
-//
-// Channel capacity is sized so that credits + the ack bound keep every
-// channel from ever filling (batches never outnumber the messages they
-// carry); MpscChannel::full_waits() counts violations of that invariant
-// (zero in a healthy run).
+// rack's drain-phase exit condition is unchanged by batching.  Ranked socket
+// racks, where the counter cannot span hosts, terminate via the counting
+// protocol in control_messages.h instead (fabric.h: InflightIsGlobal).
 
 #ifndef CCKVS_RUNTIME_TRANSPORT_H_
 #define CCKVS_RUNTIME_TRANSPORT_H_
@@ -49,6 +49,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -57,8 +58,8 @@
 #include "src/protocol/engine.h"
 #include "src/protocol/messages.h"
 #include "src/rdma/flow_control.h"
-#include "src/runtime/channel.h"
 #include "src/runtime/coalescer.h"
+#include "src/runtime/fabric.h"
 #include "src/topk/hot_set_messages.h"
 
 namespace cckvs {
@@ -69,12 +70,12 @@ class LiveTransport {
     int num_nodes = 0;
     int bcast_credits_per_peer = 64;
     int credit_update_batch = 8;
-    // Per-node inbound channel bound; LiveRack sizes this from credits +
-    // window so that Push never blocks.  Counts batches, which the message
-    // bound dominates (every batch carries at least one message).
+    // Per-node inbound bound; LiveRack sizes this from credits + window so
+    // that delivery never blocks.  Counts batches, which the message bound
+    // dominates (every batch carries at least one message).
     std::size_t channel_capacity = 4096;
     // §8.5 on the live fabric: batch same-destination messages into shared
-    // channel pushes.  Off = batch size 1 through the same code path.
+    // fabric deliveries.  Off = batch size 1 through the same code path.
     bool coalescing = false;
     int coalesce_max_batch = 16;
     // Backstop: WaitForTraffic flushes open batches before sleeping.  The
@@ -91,6 +92,9 @@ class LiveTransport {
     // Monotonic clock for the deadline policy; tests inject a fake.  Defaults
     // to steady_clock when a deadline is set.
     std::function<std::uint64_t()> clock_ns;
+    // Which fabric carries the batches (inproc | shm | socket), and — for
+    // ranked multi-process racks — which endpoint this process owns.
+    TransportOptions transport;
   };
 
   class Endpoint final : public MessageSink {
@@ -107,6 +111,11 @@ class LiveTransport {
     void BroadcastFill(const FillMsg& msg);
     void BroadcastEpochInstalled(const EpochInstalledMsg& msg);
 
+    // Uncredited point-to-point send (RPC request/response, termination
+    // control): bounded by what it answers, so it bypasses the credit pool
+    // like an ack — but still coalesces.  Owning node's thread only.
+    void SendDirect(NodeId to, WireBody body);
+
     // Drains up to `max_batches` inbound batches, invoking
     // handler(NodeId src, const WireBody&) for each message after the
     // receive-side run demux (consecutive same-key updates collapse to the
@@ -115,24 +124,25 @@ class LiveTransport {
     template <typename Handler>
     std::size_t Poll(std::size_t max_batches, Handler&& handler) {
       scratch_.clear();
-      inbox_.TryDrain(&scratch_, max_batches);
+      fabric().Drain(self_, &scratch_, max_batches);
       UpdateRunDemux demux(&updates_collapsed_);
       std::size_t processed = 0;
       for (const WireBatch& batch : scratch_) {
         for (const WireBody& body : batch.msgs) {
           demux.OnMessage(batch.src, body, handler);
-          if (!std::holds_alternative<AckMsg>(body) &&
-              batcher_.OnReceived(batch.src)) {
+          if (IsCredited(body) && batcher_.OnReceived(batch.src)) {
             // Return a credit batch to the sender (header-only message in the
-            // paper; an atomic add here).
-            transport_->endpoints_[batch.src]->returned_[self_].fetch_add(
-                batcher_.batch(), std::memory_order_release);
+            // paper; an atomic add or credit frame in the fabric).
+            fabric().ReturnCredits(self_, batch.src, batcher_.batch());
             ++credit_returns_;
+          }
+          if (!IsTermControl(body)) {
+            ++data_processed_;
           }
           // A collapsed update may still be held by the demux here; it is
           // applied before Poll returns, and updates trigger no sends, so a
           // racing drain-phase inflight()==0 observation stays sound.
-          transport_->inflight_.fetch_sub(1, std::memory_order_acq_rel);
+          fabric().SubInflight(1);
           ++processed;
         }
       }
@@ -162,9 +172,9 @@ class LiveTransport {
     void WaitForTraffic(std::chrono::microseconds timeout);
 
     std::uint64_t messages_received() const { return messages_received_; }
-    std::uint64_t batches_received() const { return inbox_.pushes(); }
-    std::uint64_t full_waits() const { return inbox_.full_waits(); }
-    std::uint64_t wakeups() const { return inbox_.wakeups(); }
+    std::uint64_t batches_received() const { return fabric().stats(self_).pushes; }
+    std::uint64_t full_waits() const { return fabric().stats(self_).full_waits; }
+    std::uint64_t wakeups() const { return fabric().stats(self_).wakeups; }
     std::uint64_t credit_parks() const { return credit_parks_; }
     std::uint64_t updates_sent() const { return updates_sent_; }
     std::uint64_t invalidations_sent() const { return invalidations_sent_; }
@@ -172,11 +182,16 @@ class LiveTransport {
     std::uint64_t credit_returns() const { return credit_returns_; }
     std::uint64_t epoch_msgs_sent() const { return epoch_msgs_sent_; }
     std::uint64_t updates_collapsed() const { return updates_collapsed_; }
+    // Termination-protocol counters: data (non-Term*) messages this endpoint
+    // committed to delivery / finished processing (control_messages.h).
+    std::uint64_t data_sent() const { return data_sent_; }
+    std::uint64_t data_processed() const { return data_processed_; }
     const SendCoalescer& coalescer() const { return coalescer_; }
 
    private:
     friend class LiveTransport;
 
+    TransportFabric& fabric() const { return *transport_->fabric_; }
     void SendCredited(NodeId to, WireBody body);
     void HarvestCredits(NodeId peer);
     // Commits one message to delivery: counts it in flight, appends it to the
@@ -188,13 +203,9 @@ class LiveTransport {
 
     LiveTransport* transport_;
     NodeId self_;
-    MpscChannel<WireBatch> inbox_;
     SendCoalescer coalescer_;
     CreditPool bcast_credits_;      // sender side, per peer
     CreditUpdateBatcher batcher_;   // receiver side, per peer
-    // Credits returned by each peer for the self->peer direction; written by
-    // the peer's thread, harvested by ours.
-    std::vector<std::atomic<int>> returned_;
     std::vector<std::deque<WireBody>> pending_;  // per peer, FIFO
     std::vector<WireBatch> scratch_;             // Poll() drain buffer
     std::uint64_t credit_parks_ = 0;
@@ -205,25 +216,42 @@ class LiveTransport {
     std::uint64_t epoch_msgs_sent_ = 0;
     std::uint64_t messages_received_ = 0;
     std::uint64_t updates_collapsed_ = 0;
+    std::uint64_t data_sent_ = 0;
+    std::uint64_t data_processed_ = 0;
   };
 
+  // Builds the fabric named by config.transport.  On fabric failure (connect
+  // refused, shm attach timeout) the transport constructs EMPTY — ok() is
+  // false, init_error() says why, and no endpoints exist — so callers can
+  // surface a clean report error instead of aborting.
   explicit LiveTransport(const Config& config);
+  ~LiveTransport();
 
+  bool ok() const { return fabric_ != nullptr; }
+  const std::string& init_error() const { return init_error_; }
+
+  // In ranked mode only the local rank's endpoint exists.
   Endpoint& endpoint(NodeId id) { return *endpoints_[id]; }
+  bool has_endpoint(NodeId id) const {
+    return id < endpoints_.size() && endpoints_[id] != nullptr;
+  }
   const Config& config() const { return config_; }
+
+  TransportFabric& fabric() { return *fabric_; }
+  const TransportFabric& fabric() const { return *fabric_; }
 
   // Messages enqueued but not yet fully processed (handler completed).  Zero
   // together with all-nodes-quiescent means the rack can produce no further
   // work — the drain-phase exit condition.  Counts messages (including those
-  // in open send batches), never batches.
-  std::uint64_t inflight() const {
-    return inflight_.load(std::memory_order_acquire);
-  }
+  // in open send batches), never batches.  Rack-global unless the fabric says
+  // otherwise (ranked socket racks use the counting protocol instead).
+  std::uint64_t inflight() const { return fabric_->inflight(); }
 
  private:
   Config config_;
+  std::unique_ptr<TransportFabric> fabric_;
+  std::string init_error_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
-  std::atomic<std::uint64_t> inflight_{0};
 };
 
 }  // namespace cckvs

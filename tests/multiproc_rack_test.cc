@@ -1,0 +1,215 @@
+// Multi-process live rack stress (runtime/multiproc.h + cross-process
+// fabrics): 4 OS processes, one node each, over shm rings and UDS sockets,
+// with online epochs and popularity drift — the full production protocol
+// stack across address-space boundaries — certified by the per-key SC/Lin
+// checkers over the merged histories.
+//
+// The test binary re-execs itself for the child ranks: invoked as
+//   <binary> --cckvs-join <params-hex> <artifact-path>
+// it runs one rank and writes its artifact file instead of running gtest.
+// Op counts scale down under sanitizers (each child inherits the sanitizer
+// runtime, so a 4-process TSan rack is 4x the usual slowdown).
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/live_rack.h"
+#include "src/runtime/multiproc.h"
+#include "src/verify/history.h"
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define CCKVS_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define CCKVS_SANITIZED 1
+#endif
+#endif
+
+namespace cckvs {
+namespace {
+
+std::uint64_t OpsPerRank() {
+#ifdef CCKVS_SANITIZED
+  return 4'000;
+#else
+  return 25'000;
+#endif
+}
+
+LiveRackParams MultiprocParams(TransportKind kind, ConsistencyModel model,
+                               const std::string& run_tag) {
+  LiveRackParams p;
+  p.num_nodes = 4;
+  p.consistency = model;
+  p.ops_per_node = OpsPerRank();
+  // Hot-key contention + a real miss stream, as in live_rack_test, but with
+  // every cross-node byte travelling through a real kernel/shm boundary.
+  p.workload.keyspace = 8'192;
+  p.workload.zipf_alpha = 0.99;
+  p.workload.write_ratio = 0.2;
+  p.workload.value_bytes = 16;
+  p.cache_capacity = 256;
+  p.partition_buckets = 1 << 10;
+  p.window_per_node = 4;
+  p.record_history = true;
+  p.seed = 11;
+  // Online epochs + drift: hot-set churn happens WHILE ranks exchange RPCs
+  // and updates — the hardest consistency surface this repo has.
+  p.online_topk = true;
+  p.topk_epoch_requests = OpsPerRank() / 2;
+  p.workload.drift_period_ops = OpsPerRank() / 2;
+  p.workload.drift_rank_shift = 16;
+
+  p.transport.kind = kind;
+  const std::string ns = std::to_string(getpid()) + "_" + run_tag;
+  p.transport.shm_name = "/cckvs_mpt_" + ns;
+  p.transport.socket_path_base = "/tmp/cckvs_mpt_" + ns;
+  p.clock_epoch_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return p;
+}
+
+std::string ArtifactPath(const std::string& run_tag, int rank) {
+  return "/tmp/cckvs_mpt_" + std::to_string(getpid()) + "_" + run_tag + ".rank" +
+         std::to_string(rank) + ".bin";
+}
+
+// Spawns ranks 1..3 as child processes, runs rank 0 in-process, merges all
+// histories and runs the full checkers.
+void RunAndCertify(TransportKind kind, ConsistencyModel model,
+                   const std::string& run_tag) {
+  LiveRackParams params = MultiprocParams(kind, model, run_tag);
+
+  std::vector<pid_t> children;
+  for (int rank = 1; rank < params.num_nodes; ++rank) {
+    LiveRackParams child = params;
+    child.transport.rank = rank;
+    std::string error;
+    const pid_t pid = SpawnSelf(
+        {"--cckvs-join", EncodeRackParams(child), ArtifactPath(run_tag, rank)},
+        &error);
+    ASSERT_GE(pid, 0) << error;
+    children.push_back(pid);
+  }
+
+  params.transport.rank = 0;
+  LiveRack rack(params);
+  const LiveReport report = rack.Run();
+  EXPECT_TRUE(report.ok()) << report.transport_error;
+  EXPECT_GE(report.completed, params.ops_per_node);
+  EXPECT_GT(report.rpcs_sent, 0u) << "no remote-homed miss ever took the RPC path";
+
+  History merged;
+  for (const HistoryOp& op : rack.history().ops()) {
+    merged.Record(op);
+  }
+  std::uint64_t total_completed = report.completed;
+
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    int code = -1;
+    std::string error;
+    EXPECT_TRUE(WaitExit(children[i], &code, &error)) << error;
+    EXPECT_EQ(code, 0) << "rank " << i + 1 << " failed";
+  }
+  for (int rank = 1; rank < params.num_nodes; ++rank) {
+    RankArtifacts a;
+    std::string error;
+    ASSERT_TRUE(LoadRankArtifacts(ArtifactPath(run_tag, rank), &a, &error)) << error;
+    EXPECT_TRUE(a.transport_error.empty()) << a.transport_error;
+    EXPECT_GE(a.completed, params.ops_per_node);
+    total_completed += a.completed;
+    for (HistoryOp& op : a.history) {
+      merged.Record(std::move(op));
+    }
+    std::remove(ArtifactPath(run_tag, rank).c_str());
+  }
+
+  // Every completed op everywhere is in the merged history — nothing lost in
+  // an address-space crossing.
+  EXPECT_EQ(merged.size(), total_completed);
+
+  // The full verify/ battery over the merged multi-process run.
+  if (model == ConsistencyModel::kLin) {
+    EXPECT_EQ(merged.CheckPerKeyLinearizability(), "");
+  } else {
+    EXPECT_EQ(merged.CheckPerKeySequentialConsistency(), "");
+  }
+  EXPECT_EQ(merged.CheckWriteAtomicity(), "");
+}
+
+TEST(MultiprocRack, ShmFourRanksLinUnderEpochsAndDrift) {
+  RunAndCertify(TransportKind::kShm, ConsistencyModel::kLin, "shm_lin");
+}
+
+TEST(MultiprocRack, ShmFourRanksScUnderEpochsAndDrift) {
+  RunAndCertify(TransportKind::kShm, ConsistencyModel::kSc, "shm_sc");
+}
+
+TEST(MultiprocRack, SocketFourRanksLinUnderEpochsAndDrift) {
+  RunAndCertify(TransportKind::kSocket, ConsistencyModel::kLin, "uds_lin");
+}
+
+TEST(MultiprocRack, SocketFourRanksScUnderEpochsAndDrift) {
+  RunAndCertify(TransportKind::kSocket, ConsistencyModel::kSc, "uds_sc");
+}
+
+// Params survive the argv hand-off bit-exactly (doubles included).
+TEST(MultiprocRack, ParamsRoundTripThroughHexBlob) {
+  LiveRackParams p = MultiprocParams(TransportKind::kSocket, ConsistencyModel::kSc,
+                                     "roundtrip");
+  p.transport.rank = 2;
+  p.coalescing = true;
+  p.coalesce_flush_deadline_us = 77;
+  const std::string hex = EncodeRackParams(p);
+  LiveRackParams q;
+  std::string error;
+  ASSERT_TRUE(DecodeRackParams(hex, &q, &error)) << error;
+  EXPECT_EQ(EncodeRackParams(q), hex);
+  EXPECT_EQ(q.transport.rank, 2);
+  EXPECT_EQ(q.consistency, ConsistencyModel::kSc);
+  EXPECT_EQ(q.transport.kind, TransportKind::kSocket);
+  EXPECT_EQ(q.workload.zipf_alpha, p.workload.zipf_alpha);
+  EXPECT_EQ(q.clock_epoch_ns, p.clock_epoch_ns);
+
+  LiveRackParams bad;
+  EXPECT_FALSE(DecodeRackParams(hex.substr(0, hex.size() - 4), &bad, &error));
+  EXPECT_FALSE(DecodeRackParams("zz" + hex, &bad, &error));
+}
+
+}  // namespace
+}  // namespace cckvs
+
+// Child mode: one rank of a multi-process rack, then exit — no gtest.
+int main(int argc, char** argv) {
+  if (argc == 4 && std::string(argv[1]) == "--cckvs-join") {
+    cckvs::LiveRackParams params;
+    std::string error;
+    if (!cckvs::DecodeRackParams(argv[2], &params, &error)) {
+      std::fprintf(stderr, "child: %s\n", error.c_str());
+      return 2;
+    }
+    cckvs::LiveRack rack(params);
+    const cckvs::LiveReport report = rack.Run();
+    cckvs::RankArtifacts artifacts;
+    artifacts.completed = report.completed;
+    artifacts.rpcs_sent = report.rpcs_sent;
+    artifacts.transport_error = report.transport_error;
+    artifacts.history = rack.history().ops();
+    if (!cckvs::SaveRankArtifacts(argv[3], artifacts, &error)) {
+      std::fprintf(stderr, "child: %s\n", error.c_str());
+      return 2;
+    }
+    return report.ok() ? 0 : 1;
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Launch a multi-process live rack and certify it with the consistency
+# checkers.  Thin wrapper over examples/multiproc_rack (which does the
+# spawn-or-join orchestration itself); builds it first if needed.
+#
+#   tools/run_multiproc.sh                          # 4 ranks over shm
+#   tools/run_multiproc.sh --transport=socket       # 4 ranks over UDS
+#   tools/run_multiproc.sh --nodes=8 --ops=50000 --consistency=sc \
+#       --epochs --drift
+#
+# All flags are forwarded to multiproc_rack.  Exit status is the rack's:
+# 0 = healthy run, checkers clean.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+bin="$build_dir/examples/multiproc_rack"
+
+if [[ ! -x "$bin" ]]; then
+  echo "building multiproc_rack..." >&2
+  cmake -B "$build_dir" -S "$repo_root" >/dev/null
+  cmake --build "$build_dir" --target multiproc_rack -j >/dev/null
+fi
+
+exec "$bin" "$@"
