@@ -246,6 +246,7 @@ inline std::vector<std::pair<std::string, double>> LiveReportFields(
   fields.emplace_back("gate_retries", static_cast<double>(r.gate_retries));
   fields.emplace_back("store_read_retries",
                       static_cast<double>(r.store_read_retries));
+  fields.emplace_back("hot_path_allocs", static_cast<double>(r.hot_path_allocs));
   return fields;
 }
 

@@ -23,6 +23,20 @@
 //                              message through serialized WireBatch frames in
 //                              a shared-memory ring / a UDS stream, so the
 //                              delta against inproc prices the wire.
+//   --pin                      pin each node thread to its own core
+//                              (LiveRackParams::pinning; modulo nproc).
+//   --busy-poll                spin instead of parking when a node idles
+//                              (LiveRackParams::busy_poll).
+//   --profile-csv=PATH         run the per-second profiler thread on every
+//                              rack and append its per-node counter CSV to
+//                              PATH (runtime/profiler.h; CI uploads this as
+//                              an artifact next to the JSON).
+//
+// The final section is the zero-allocation audit (docs/PERFORMANCE.md): an
+// SC rack with the whole store prefilled runs with the allocation tracker
+// armed and CCKVS_CHECKs that the steady state performed zero operator-new
+// calls on any node thread.  It always uses the inproc fabric — the audit is
+// about the messaging/run-loop layers, which are shared by all backends.
 
 #include <unistd.h>
 
@@ -58,6 +72,9 @@ int main(int argc, char** argv) {
 
   bool run_off = true;
   bool run_on = true;
+  bool pin = false;
+  bool busy_poll = false;
+  std::string profile_csv;
   TransportKind transport = TransportKind::kInproc;
   const char* transport_name = "inproc";
   for (int i = 1; i < argc; ++i) {
@@ -74,14 +91,33 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--transport=inproc") == 0) {
       transport = TransportKind::kInproc;
       transport_name = "inproc";
+    } else if (std::strcmp(argv[i], "--pin") == 0) {
+      pin = true;
+    } else if (std::strcmp(argv[i], "--busy-poll") == 0) {
+      busy_poll = true;
+    } else if (std::strncmp(argv[i], "--profile-csv=", 14) == 0) {
+      profile_csv = argv[i] + 14;
     }
   }
+
+  // Applies the run-loop flags to one rack config.  Profiler CSVs get a
+  // per-rack suffix so the sweep's racks don't clobber one file.
+  int rack_seq = 0;
+  const auto ApplyLoopFlags = [&](LiveRackParams* lp) {
+    lp->pinning = pin;
+    lp->busy_poll = busy_poll;
+    if (!profile_csv.empty()) {
+      lp->profile = true;
+      lp->profile_csv_path = profile_csv + "." + std::to_string(rack_seq++);
+    }
+  };
 
   const int kNodes = 8;
   const std::uint64_t ops = Smoke() ? 25'000 : 400'000;
 
   std::printf("Live rack, %d nodes, 1M keys, 0.1%% cache, 5%% writes, window 32, "
-              "transport=%s\n", kNodes, transport_name);
+              "transport=%s%s%s\n", kNodes, transport_name,
+              pin ? " pinned" : "", busy_poll ? " busy-poll" : "");
   std::printf("(sim prediction: 9-node RDMA rack at the same workload)\n\n");
   std::printf("%-8s %-6s %12s %10s %10s %10s %10s %10s\n", "model", "coal",
               "live Mops/s", "hit%", "msgs", "batches", "avg B", "wakeups");
@@ -96,10 +132,14 @@ int main(int argc, char** argv) {
       }
       LiveRackParams lp = LiveCoalescingRack(model, coalesce, ops);
       lp.transport = SweepTransport(transport);
+      ApplyLoopFlags(&lp);
+      // Pin/busy-poll runs get distinct labels so bench_delta.py never
+      // compares a parked run against a spinning one.
       const LiveReport lr =
           RunLive(lp, std::string("live ccKVS/") + ToString(model) +
                           " coalescing=" + (coalesce ? "on" : "off") +
-                          " transport=" + transport_name);
+                          " transport=" + transport_name +
+                          (pin ? " pin" : "") + (busy_poll ? " busy-poll" : ""));
       mops[mi][coalesce ? 1 : 0] = lr.rack.mrps;
       std::printf("%-8s %-6s %12.2f %9.1f%% %10llu %10llu %10.1f %10llu\n",
                   ToString(model), coalesce ? "on" : "off", lr.rack.mrps,
@@ -149,11 +189,13 @@ int main(int argc, char** argv) {
     for (const std::uint64_t deadline_us : {0ull, 5ull, 20ull, 50ull}) {
       LiveRackParams lp = LiveCoalescingRack(ConsistencyModel::kSc, true, ops);
       lp.transport = SweepTransport(transport);
+      ApplyLoopFlags(&lp);
       lp.coalesce_flush_deadline_us = deadline_us;
       char label[96];
       std::snprintf(label, sizeof(label),
-                    "live ccKVS/SC coalescing=on deadline_us=%llu transport=%s",
-                    static_cast<unsigned long long>(deadline_us), transport_name);
+                    "live ccKVS/SC coalescing=on deadline_us=%llu transport=%s%s%s",
+                    static_cast<unsigned long long>(deadline_us), transport_name,
+                    pin ? " pin" : "", busy_poll ? " busy-poll" : "");
       const LiveReport lr = RunLive(lp, label);
       std::printf("%-12llu %12.2f %10.1f %10.1f %12llu %12llu\n",
                   static_cast<unsigned long long>(deadline_us), lr.rack.mrps,
@@ -162,6 +204,51 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(lr.flushes_deadline),
                   static_cast<unsigned long long>(lr.flushes_boundary));
     }
+  }
+
+  {
+    // Zero-allocation steady-state audit.  SC only: Lin's pending-write map
+    // churns per write by design.  prefill_store materializes all 64K keys up
+    // front so no steady-state PUT inserts, and track_allocs arms the
+    // per-thread operator-new counter inside each node's steady-state window
+    // (opened at quota/4, closed at quiescence).  alloc_assert turns a nonzero
+    // count into a CCKVS_CHECK failure — the bench aborts rather than print a
+    // regressed row.  The profiler runs too so the audit also exercises the
+    // counter-publishing path it claims is allocation-free.
+    PrintHeaderRule();
+    LiveRackParams lp;
+    lp.num_nodes = 4;
+    lp.consistency = ConsistencyModel::kSc;
+    lp.workload.keyspace = 65'536;  // small enough to prefill in milliseconds
+    lp.workload.zipf_alpha = 0.99;
+    lp.workload.write_ratio = 0.05;
+    lp.workload.value_bytes = 40;
+    lp.cache_capacity = 1'000;
+    lp.window_per_node = 32;
+    lp.ops_per_node = Smoke() ? 25'000 : 200'000;
+    lp.coalescing = true;
+    lp.seed = 42;
+    lp.transport.kind = TransportKind::kInproc;  // audit targets shared layers
+    lp.prefill_store = true;
+    lp.track_allocs = true;
+    lp.alloc_assert = true;
+    lp.profile = true;
+    lp.profile_interval_ms = Smoke() ? 20 : 250;
+    if (!profile_csv.empty()) {
+      lp.profile_csv_path = profile_csv + ".zeroalloc";
+    }
+    lp.pinning = pin;
+    lp.busy_poll = busy_poll;
+    const LiveReport lr = RunLive(
+        lp, std::string("live ccKVS/SC zero-alloc audit") +
+                (pin ? " pin" : "") + (busy_poll ? " busy-poll" : ""));
+    std::printf("zero-alloc audit (SC, inproc, prefilled store, %llu ops/node):\n",
+                static_cast<unsigned long long>(lp.ops_per_node));
+    std::printf("  steady-state hot-path allocs: %llu (invariant: 0)\n",
+                static_cast<unsigned long long>(lr.hot_path_allocs));
+    std::printf("  profiler samples: %zu, live Mops/s: %.2f, p99: %.1f us\n",
+                lr.profiler_samples.size(), lr.rack.mrps,
+                lr.rack.p99_latency_us);
   }
 
   PrintHeaderRule();

@@ -1,0 +1,45 @@
+// Per-thread heap-allocation counter for the zero-alloc hot-path assertion.
+//
+// The live runtime's performance claim (docs/PERFORMANCE.md) is that a
+// steady-state node thread performs ZERO heap allocations per operation:
+// WireBatch slots, codec scratch, channel rings and value buffers are all
+// reused.  This tracker makes that claim testable: a thread opt-ins with
+// EnableThread(), every global operator new on that thread increments a
+// thread-local counter (deletes do not count — freeing during teardown is
+// fine), and the run loop asserts ThreadCount() == 0 over the measured
+// window when LiveRackParams::alloc_assert is set.
+//
+// The counting operator new/delete replacements live in alloc_tracker.cc and
+// are linked into every binary that pulls in cckvs_common.  They are
+// compiled OUT under ASan/TSan (the sanitizers intercept the allocator
+// themselves); TrackerAvailable() tells callers whether counts mean anything
+// so tests can skip instead of asserting vacuously.
+
+#ifndef CCKVS_COMMON_ALLOC_TRACKER_H_
+#define CCKVS_COMMON_ALLOC_TRACKER_H_
+
+#include <cstdint>
+
+namespace cckvs::alloc {
+
+// True when the counting operator new is compiled in (i.e. not a sanitizer
+// build).  When false, ThreadCount() is always zero and asserts on it are
+// meaningless — skip them.
+bool TrackerAvailable();
+
+// Starts counting allocations made by the calling thread.
+void EnableThread();
+
+// Stops counting (the counter keeps its value).
+void DisableThread();
+
+// Allocations made by the calling thread while enabled, since the last
+// ResetThread().
+std::uint64_t ThreadCount();
+
+// Zeroes the calling thread's counter.
+void ResetThread();
+
+}  // namespace cckvs::alloc
+
+#endif  // CCKVS_COMMON_ALLOC_TRACKER_H_

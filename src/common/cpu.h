@@ -1,0 +1,86 @@
+// CPU affinity, spin-hinting and (optional) NUMA helpers for the pinned
+// busy-poll run-loop mode.
+//
+// Everything degrades gracefully: PinCurrentThreadToCore() wraps the
+// requested core modulo the online CPU count (a 1-core CI container pins
+// everything to core 0 rather than failing), and the NUMA helpers compile to
+// reported no-ops when <numa.h> is absent — this repo never links libnuma
+// conditionally at configure time, the header probe decides.
+
+#ifndef CCKVS_COMMON_CPU_H_
+#define CCKVS_COMMON_CPU_H_
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+#if defined(__has_include)
+#if __has_include(<numa.h>)
+#include <numa.h>
+#define CCKVS_HAVE_NUMA 1
+#endif
+#endif
+#ifndef CCKVS_HAVE_NUMA
+#define CCKVS_HAVE_NUMA 0
+#endif
+
+namespace cckvs {
+
+// Spin-wait hint: tells the core (and a hyper-sibling) that this is a
+// busy-poll iteration, not real work.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(_M_X64)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+// True when libnuma headers were present at compile time AND the kernel
+// exposes a NUMA topology at runtime.
+inline bool NumaAvailable() {
+#if CCKVS_HAVE_NUMA
+  return numa_available() >= 0;
+#else
+  return false;
+#endif
+}
+
+// NUMA node of a CPU core, or -1 when NUMA support is compiled out.
+inline int NumaNodeOfCore(int core) {
+#if CCKVS_HAVE_NUMA
+  return numa_available() >= 0 ? numa_node_of_cpu(core) : -1;
+#else
+  (void)core;
+  return -1;
+#endif
+}
+
+// Pins the calling thread to `core` (wrapped modulo the online CPU count so
+// over-subscribed configs still pin deterministically).  Returns the actual
+// core pinned to, or -1 when pinning is unsupported or failed.
+inline int PinCurrentThreadToCore(int core) {
+#if defined(__linux__)
+  const long ncpu = sysconf(_SC_NPROCESSORS_ONLN);
+  if (ncpu <= 0 || core < 0) {
+    return -1;
+  }
+  const int target = core % static_cast<int>(ncpu);
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(target, &set);
+  if (pthread_setaffinity_np(pthread_self(), sizeof(set), &set) != 0) {
+    return -1;
+  }
+  return target;
+#else
+  (void)core;
+  return -1;
+#endif
+}
+
+}  // namespace cckvs
+
+#endif  // CCKVS_COMMON_CPU_H_

@@ -84,7 +84,10 @@ void ScEngine::ApplyWrite(Key key, CacheEntry* entry, const Value& value,
   entry->set_ts(ts);
   entry->set_state(CacheState::kValid);
   entry->dirty = true;
-  sink_->BroadcastUpdate(UpdateMsg{key, value, ts});
+  update_scratch_.key = key;
+  update_scratch_.value = value;  // copy-assign reuses the scratch's capacity
+  update_scratch_.ts = ts;
+  sink_->BroadcastUpdate(update_scratch_);
   ++stats_.writes_completed;
   if (done != nullptr) {
     done();
@@ -222,7 +225,10 @@ void LinEngine::CompleteWrite(Key key, CacheEntry* entry) {
   // Phase 2: all sharers acknowledged; broadcast the value, then the put returns.
   // The old value is now invisible at every replica, which is what makes the
   // early return linearizable.
-  sink_->BroadcastUpdate(UpdateMsg{key, entry->pending_value, entry->pending_ts});
+  update_scratch_.key = key;
+  update_scratch_.value = entry->pending_value;  // copy-assign reuses capacity
+  update_scratch_.ts = entry->pending_ts;
+  sink_->BroadcastUpdate(update_scratch_);
   entry->write_in_flight = false;
   entry->header.ack_count = 0;
   if (!entry->superseded) {

@@ -190,6 +190,10 @@ class ScEngine final : public CoherenceEngine {
  private:
   void StartQueuedWrites(Key key) override;
   void ApplyWrite(Key key, CacheEntry* entry, const Value& value, WriteDone done);
+
+  // Reused across broadcasts so the value's string capacity survives; building
+  // a fresh UpdateMsg per write would allocate on every put (hot path).
+  UpdateMsg update_scratch_;
 };
 
 // Per-key Linearizability (§5.2, "Lin Protocol").
@@ -220,6 +224,9 @@ class LinEngine final : public CoherenceEngine {
 
   // done-callbacks of in-flight writes, keyed by key.
   std::unordered_map<Key, WriteDone> pending_done_;
+
+  // Reused across broadcasts so the value's string capacity survives.
+  UpdateMsg update_scratch_;
 };
 
 }  // namespace cckvs

@@ -10,6 +10,11 @@
 //
 // FIFO: the queue is globally ordered, so per-producer order is preserved —
 // the property the Lin protocol needs between an invalidation and its update.
+//
+// Storage is a fixed ring of `capacity` slots allocated once at construction
+// (a deque would deallocate blocks as the consumer drains).  Items move-assign
+// into slots and move out again, so the slots themselves — and, for WireBatch,
+// their recycled message buffers — never touch the allocator in steady state.
 
 #ifndef CCKVS_RUNTIME_CHANNEL_H_
 #define CCKVS_RUNTIME_CHANNEL_H_
@@ -18,7 +23,6 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -30,7 +34,8 @@ namespace cckvs {
 template <typename T>
 class MpscChannel {
  public:
-  explicit MpscChannel(std::size_t capacity) : capacity_(capacity) {
+  explicit MpscChannel(std::size_t capacity)
+      : capacity_(capacity), storage_(capacity) {
     CCKVS_CHECK_GE(capacity, std::size_t{1});
   }
   MpscChannel(const MpscChannel&) = delete;
@@ -42,11 +47,12 @@ class MpscChannel {
     bool wake = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      if (items_.size() >= capacity_) {
+      if (Size() >= capacity_) {
         full_waits_.fetch_add(1, std::memory_order_relaxed);
-        not_full_.wait(lock, [this] { return items_.size() < capacity_; });
+        not_full_.wait(lock, [this] { return Size() < capacity_; });
       }
-      items_.push_back(std::move(item));
+      storage_[tail_ % capacity_] = std::move(item);
+      ++tail_;
       pushes_.fetch_add(1, std::memory_order_relaxed);
       // Notify only when the consumer is actually parked in WaitDrain.  The
       // consumer sets waiting_ under this mutex before sleeping and re-checks
@@ -76,14 +82,14 @@ class MpscChannel {
                         std::chrono::microseconds timeout) {
     std::unique_lock<std::mutex> lock(mu_);
     waiting_ = true;
-    not_empty_.wait_for(lock, timeout, [this] { return !items_.empty(); });
+    not_empty_.wait_for(lock, timeout, [this] { return Size() > 0; });
     waiting_ = false;
     return DrainLocked(out, max);
   }
 
   std::size_t size() const {
     std::unique_lock<std::mutex> lock(mu_);
-    return items_.size();
+    return Size();
   }
 
   std::size_t capacity() const { return capacity_; }
@@ -97,12 +103,16 @@ class MpscChannel {
   }
 
  private:
+  std::size_t Size() const { return tail_ - head_; }
+
   std::size_t DrainLocked(std::vector<T>* out, std::size_t max) {
     std::size_t moved = 0;
-    const bool was_full = items_.size() >= capacity_;
-    while (!items_.empty() && moved < max) {
-      out->push_back(std::move(items_.front()));
-      items_.pop_front();
+    const bool was_full = Size() >= capacity_;
+    while (Size() > 0 && moved < max) {
+      // Moving out leaves the slot empty (no heap to free), so the next
+      // Push's move-assign into it deallocates nothing.
+      out->push_back(std::move(storage_[head_ % capacity_]));
+      ++head_;
       ++moved;
     }
     if (was_full && moved > 0) {
@@ -115,7 +125,9 @@ class MpscChannel {
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
-  std::deque<T> items_;
+  std::vector<T> storage_;    // fixed ring; live range is [head_, tail_)
+  std::size_t head_ = 0;      // free-running consumer counter (guarded by mu_)
+  std::size_t tail_ = 0;      // free-running producer counter (guarded by mu_)
   bool waiting_ = false;  // consumer parked in WaitDrain (guarded by mu_)
   std::atomic<std::uint64_t> pushes_{0};
   std::atomic<std::uint64_t> full_waits_{0};

@@ -18,28 +18,37 @@ SendCoalescer::SendCoalescer(const CoalescerConfig& config)
   }
   for (WireBatch& b : open_) {
     b.src = config_.self;
+    if (config_.warm_slots > 0) {
+      b.Warm(config_.warm_slots, config_.warm_value_bytes);
+    }
+  }
+}
+
+void SendCoalescer::StampOpen(NodeId to) {
+  if (deadline_enabled()) {
+    open_since_ns_[to] = config_.now_ns();
   }
 }
 
 bool SendCoalescer::Append(NodeId to, WireBody body) {
   CCKVS_DCHECK(to != config_.self);
   WireBatch& batch = open_[to];
-  if (batch.msgs.empty() && deadline_enabled()) {
-    open_since_ns_[to] = config_.now_ns();
+  if (batch.empty()) {
+    StampOpen(to);
   }
-  batch.msgs.push_back(std::move(body));
-  return batch.msgs.size() >= static_cast<std::size_t>(effective_max_);
+  batch.Append(std::move(body));
+  return batch.size() >= static_cast<std::size_t>(effective_max_);
 }
 
 bool SendCoalescer::DeadlineExpired(NodeId to) const {
-  if (!deadline_enabled() || open_[to].msgs.empty()) {
+  if (!deadline_enabled() || open_[to].empty()) {
     return false;
   }
   return DeadlineExpired(to, config_.now_ns());
 }
 
 bool SendCoalescer::DeadlineExpired(NodeId to, std::uint64_t now) const {
-  if (!deadline_enabled() || open_[to].msgs.empty()) {
+  if (!deadline_enabled() || open_[to].empty()) {
     return false;
   }
   return now - open_since_ns_[to] >= config_.flush_deadline_ns;
@@ -52,7 +61,7 @@ std::uint64_t SendCoalescer::MinRemainingNs() const {
   }
   const std::uint64_t now = config_.now_ns();
   for (std::size_t to = 0; to < open_.size(); ++to) {
-    if (open_[to].msgs.empty()) {
+    if (open_[to].empty()) {
       continue;
     }
     const std::uint64_t age = now - open_since_ns_[to];
@@ -65,22 +74,28 @@ std::uint64_t SendCoalescer::MinRemainingNs() const {
 
 WireBatch SendCoalescer::Take(NodeId to, FlushCause cause) {
   WireBatch& open = open_[to];
-  WireBatch taken;
-  taken.src = config_.self;
-  if (open.msgs.empty()) {
+  if (open.empty()) {
+    WireBatch taken;  // empty takes are free and unrecorded, as before
+    taken.src = config_.self;
     return taken;
   }
-  taken.msgs.swap(open.msgs);
+  // Swap the full batch out against a recycled (or fresh) one, so the open
+  // slot's warmed capacity leaves with the taken batch and a previously
+  // recycled batch's capacity becomes the new open buffer.
+  WireBatch taken = config_.pool != nullptr ? config_.pool->Acquire() : WireBatch{};
+  taken.clear();
+  std::swap(taken, open);
+  open.src = config_.self;
   ++batches_sent_;
-  messages_sent_ += taken.msgs.size();
+  messages_sent_ += taken.size();
   ++flushes_[static_cast<std::size_t>(cause)];
-  batch_sizes_.Record(taken.msgs.size());
+  batch_sizes_.Record(taken.size());
   return taken;
 }
 
 bool SendCoalescer::AllEmpty() const {
   for (const WireBatch& b : open_) {
-    if (!b.msgs.empty()) {
+    if (!b.empty()) {
       return false;
     }
   }
@@ -90,7 +105,7 @@ bool SendCoalescer::AllEmpty() const {
 std::size_t SendCoalescer::open_messages() const {
   std::size_t n = 0;
   for (const WireBatch& b : open_) {
-    n += b.msgs.size();
+    n += b.size();
   }
   return n;
 }

@@ -47,8 +47,10 @@
 #ifndef CCKVS_RUNTIME_COALESCER_H_
 #define CCKVS_RUNTIME_COALESCER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -99,9 +101,142 @@ inline bool IsTermControl(const WireBody& body) {
 }
 
 // N same-destination messages sharing one channel push and one source id.
-struct WireBatch {
+//
+// Zero-alloc by design: the slot vector never shrinks.  clear() resets the
+// logical count without destroying slots, and the typed Append overloads
+// assign INTO an existing slot when its variant already holds the right
+// alternative — so a recycled batch whose slot held an UpdateMsg reuses that
+// UpdateMsg's string capacity instead of reconstructing it.  Steady-state
+// traffic (same message mix every iteration) therefore allocates nothing;
+// only growth beyond the high-water mark or an alternative change pays.
+class WireBatch {
+ public:
   NodeId src = 0;
-  std::vector<WireBody> msgs;
+
+  // Logical reset: slots (and their string capacity) survive for reuse.
+  void clear() { count_ = 0; }
+
+  // Exposes the next slot for in-place construction (wire_codec decodes
+  // directly into it).  Grows the slot vector only past the high-water mark.
+  WireBody& AppendSlot() {
+    if (count_ == slots_.size()) {
+      slots_.emplace_back();
+    }
+    return slots_[count_++];
+  }
+
+  // Typed append: assigns into the slot when the alternative matches (string
+  // capacity reuse), otherwise re-seats the variant.
+  template <typename T>
+  void Append(const T& msg) {
+    WireBody& slot = AppendSlot();
+    if (auto* p = std::get_if<T>(&slot)) {
+      *p = msg;
+    } else {
+      slot.emplace<T>(msg);
+    }
+  }
+
+  void Append(WireBody&& body) { AppendSlot() = std::move(body); }
+
+  // Pre-pays the growth costs a cold batch would otherwise pay mid-run: grows
+  // the slot vector to `slots` entries and reserves `value_bytes` of string
+  // capacity in each (slots default to UpdateMsg — the variant's first
+  // alternative and the only steady-state value carrier).  Idempotent on a
+  // warm batch.  WireBatchPool::Prewarm uses this at fabric init so a
+  // measured window never observes first-touch warm-up allocations.
+  void Warm(std::size_t slots, std::size_t value_bytes) {
+    if (slots_.size() < slots) {
+      slots_.reserve(slots);
+      while (slots_.size() < slots) {
+        slots_.emplace_back();
+      }
+    }
+    for (WireBody& slot : slots_) {
+      if (auto* upd = std::get_if<UpdateMsg>(&slot)) {
+        upd->value.reserve(value_bytes);
+      }
+    }
+    count_ = 0;
+  }
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  const WireBody& operator[](std::size_t i) const { return slots_[i]; }
+  WireBody& operator[](std::size_t i) { return slots_[i]; }
+  const WireBody* begin() const { return slots_.data(); }
+  const WireBody* end() const { return slots_.data() + count_; }
+
+  WireBatch() = default;
+  WireBatch(const WireBatch&) = default;
+  WireBatch& operator=(const WireBatch&) = default;
+  // Moved-from batches must read as empty: the slot vector moves away, so a
+  // stale count_ would index nothing.
+  WireBatch(WireBatch&& other) noexcept
+      : src(other.src), slots_(std::move(other.slots_)), count_(other.count_) {
+    other.count_ = 0;
+  }
+  WireBatch& operator=(WireBatch&& other) noexcept {
+    src = other.src;
+    slots_ = std::move(other.slots_);
+    count_ = other.count_;
+    other.count_ = 0;
+    return *this;
+  }
+
+ private:
+  std::vector<WireBody> slots_;  // live prefix [0, count_); rest are spares
+  std::size_t count_ = 0;
+};
+
+// Free list of warm WireBatches, shared by every endpoint of one fabric.
+// Batches cross threads (sender fills, receiver drains, receiver recycles),
+// so a recycled batch's warmed slot capacity serves whichever sender next
+// acquires it.  Mutex-guarded: one Acquire per batch sent and one Recycle per
+// batch drained is far off the per-message hot path.
+class WireBatchPool {
+ public:
+  WireBatchPool() { free_.reserve(cap_); }
+
+  WireBatch Acquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.empty()) {
+      return WireBatch{};
+    }
+    WireBatch b = std::move(free_.back());
+    free_.pop_back();
+    return b;
+  }
+
+  void Recycle(WireBatch&& batch) {
+    batch.clear();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.size() < cap_) {
+      free_.push_back(std::move(batch));
+    }
+  }
+
+  // Stocks the pool with `count` fully-warm batches (WireBatch::Warm) and
+  // raises the retention cap to hold them.  Called once at fabric init,
+  // before any node thread starts: with `count` at least the transport's
+  // maximum simultaneously-circulating batch count, Acquire never hands out
+  // a cold batch and the steady state is allocation-free rather than merely
+  // amortized-allocation-free.
+  void Prewarm(std::size_t count, std::size_t slots, std::size_t value_bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cap_ = std::max(cap_, count);
+    free_.reserve(cap_);
+    while (free_.size() < count) {
+      WireBatch b;
+      b.Warm(slots, value_bytes);
+      free_.push_back(std::move(b));
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::size_t cap_ = 1024;  // retention cap: a full rack's churn fits
+  std::vector<WireBatch> free_;
 };
 
 enum class FlushCause : std::uint8_t {
@@ -141,6 +276,16 @@ struct CoalescerConfig {
   std::uint64_t flush_deadline_ns = 0;
   // Monotonic clock, injectable for tests; required when flush_deadline_ns>0.
   std::function<std::uint64_t()> now_ns;
+  // When set, Take() swaps in recycled batches from this pool instead of
+  // default-constructing (the zero-alloc path).  Null (unit tests) falls back
+  // to fresh batches.
+  WireBatchPool* pool = nullptr;
+  // When warm_slots > 0, the per-peer open batches are pre-warmed at
+  // construction (WireBatch::Warm).  Without this the initial open batches
+  // start cold and — because the pool is LIFO — keep circulating at its top,
+  // paying first-touch growth allocations well into a run.
+  std::size_t warm_slots = 0;
+  std::size_t warm_value_bytes = 0;
 };
 
 // Per-peer send-side batch buffers.  Single-threaded: only the owning node's
@@ -154,11 +299,23 @@ class SendCoalescer {
   // it now, so a batch never exceeds the cap.
   bool Append(NodeId to, WireBody body);
 
-  // Closes and returns the open batch for `to` (msgs empty when there is
-  // nothing open).  Non-empty takes are recorded in the flush/size stats.
+  // Typed append: same contract, but assigns into a recycled slot without
+  // constructing a WireBody temporary (the zero-alloc send path).
+  template <typename T>
+  bool AppendTyped(NodeId to, const T& msg) {
+    WireBatch& batch = open_[to];
+    if (batch.empty()) {
+      StampOpen(to);
+    }
+    batch.Append(msg);
+    return batch.size() >= static_cast<std::size_t>(effective_max_);
+  }
+
+  // Closes and returns the open batch for `to` (empty when there is nothing
+  // open).  Non-empty takes are recorded in the flush/size stats.
   WireBatch Take(NodeId to, FlushCause cause);
 
-  bool empty(NodeId to) const { return open_[to].msgs.empty(); }
+  bool empty(NodeId to) const { return open_[to].empty(); }
   bool AllEmpty() const;
   // Messages sitting in open batches (committed to delivery, not yet pushed).
   std::size_t open_messages() const;
@@ -183,6 +340,9 @@ class SendCoalescer {
   const Histogram& batch_sizes() const { return batch_sizes_; }
 
  private:
+  // Stamps the deadline clock on the first append to an empty batch.
+  void StampOpen(NodeId to);
+
   CoalescerConfig config_;
   int effective_max_;  // 1 when disabled: every message closes its own batch
   std::vector<WireBatch> open_;  // indexed by peer id

@@ -66,6 +66,10 @@ class InprocFabric final : public TransportFabric {
     return FabricStats{inbox.pushes(), inbox.full_waits(), inbox.wakeups()};
   }
 
+  std::uint64_t InboundDepth(NodeId self) const override {
+    return inboxes_[self]->size();
+  }
+
  private:
   // Credits peers have returned to `sender`, per returning peer.
   std::atomic<int>& Cell(NodeId sender, NodeId returner) {

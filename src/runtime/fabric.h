@@ -148,6 +148,19 @@ class TransportFabric {
 
   virtual FabricStats stats(NodeId self) const = 0;
 
+  // Batches queued toward `self` and not yet drained (inproc/socket: inbox
+  // depth in batches; shm: lane occupancy in bytes).  A gauge for the
+  // profiler thread — sampled ~1/s, never on the hot path.
+  virtual std::uint64_t InboundDepth(NodeId self) const {
+    (void)self;
+    return 0;
+  }
+
+  // Shared free list of warm WireBatches: senders Acquire on Take, receivers
+  // Recycle after Poll dispatches — the arena that makes the steady-state
+  // message path allocation-free.
+  WireBatchPool& batch_pool() { return batch_pool_; }
+
   // True when inflight() is a rack-global count usable as the drain-phase
   // exit condition.  Ranked socket fabrics return false; those racks
   // terminate via the counting protocol instead.
@@ -164,6 +177,9 @@ class TransportFabric {
   // Stops background machinery (rx threads, doorbell waiters) so endpoints
   // can be torn down.  Idempotent; called before destruction.
   virtual void Shutdown() {}
+
+ private:
+  WireBatchPool batch_pool_;
 };
 
 // Builds the backend named by `opts.kind`.  Blocks until the fabric is ready

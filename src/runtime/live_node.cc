@@ -2,9 +2,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 #include <utility>
 
+#include "src/common/alloc_tracker.h"
 #include "src/common/check.h"
+#include "src/common/cpu.h"
+#include "src/common/cycles.h"
 #include "src/runtime/live_rack.h"
 
 namespace cckvs {
@@ -26,6 +30,12 @@ LiveNode::LiveNode(LiveRack* rack, NodeId id, WorkloadGenerator gen)
   quota_ = p.ops_per_node;
   ranked_ = rack->ranked();
   coordinator_ = ranked_ && id == 0;
+  record_history_ = p.record_history;
+  busy_poll_ = p.busy_poll;
+  track_allocs_ = p.track_allocs;
+  if (p.profile) {
+    pub_ = &rack->worker_counters(id);
+  }
   if (coordinator_) {
     prev_counts_.resize(static_cast<std::size_t>(p.num_nodes));
   }
@@ -35,6 +45,9 @@ LiveNode::LiveNode(LiveRack* rack, NodeId id, WorkloadGenerator gen)
   pc.node_id = id;
   const std::uint32_t value_bytes = p.workload.value_bytes;
   pc.synthesize = [value_bytes](Key key) { return SynthesizeValue(key, value_bytes); };
+  pc.synthesize_into = [value_bytes](Key key, Value* out) {
+    SynthesizeValueInto(key, value_bytes, out);
+  };
   partition_ = std::make_unique<Partition>(pc);
 
   cache_ = std::make_unique<SymmetricCache>(p.cache_capacity);
@@ -67,6 +80,8 @@ LiveNode::LiveNode(LiveRack* rack, NodeId id, WorkloadGenerator gen)
   }
   idle_sessions_ = sessions_.size();
   rpc_waiting_.assign(sessions_.size(), 0);
+  parked_sc_writes_.Reset(sessions_.size());
+  parked_gated_.Reset(sessions_.size());
 }
 
 void LiveNode::PrefillHotSet(const std::vector<Key>& hot_keys) {
@@ -94,6 +109,11 @@ SimTime LiveNode::NowTs() {
 void LiveNode::Run(StopToken stop) {
   const bool debug_state = std::getenv("CCKVS_DEBUG_STATE") != nullptr;
   SimTime last_dump = 0;
+  std::uint64_t idle_spins = 0;
+  // Force the rdtsc→ns calibration (a one-time ~10ms busy-wait behind a
+  // function-local static) before the first op is stamped and before the
+  // allocation window can open.
+  CyclesPerNs();
   while (true) {
     if (debug_state) {
       const SimTime now = rack_->clock_ns();
@@ -133,6 +153,7 @@ void LiveNode::Run(StopToken stop) {
         issued = FillIdleSessions();
       }
     }
+    PollAllocWindow();
 
     // Op boundary: everything this iteration produced — acks for the polled
     // invalidations, updates/invalidations/epoch traffic from the ops above —
@@ -163,13 +184,74 @@ void LiveNode::Run(StopToken stop) {
       }
     }
 
+    PublishCounters();
+
     if (processed == 0 && !issued && !gated_progress) {
-      // Nothing to do right now.  Credit returns are silent (atomic adds), so
-      // bound the sleep rather than waiting for a message that may not come.
-      const bool settled = ranked_ ? LocallyQuiescent() : done_;
-      ep_->WaitForTraffic(std::chrono::microseconds(settled ? 50 : 200));
+      if (busy_poll_) {
+        // Busy-poll mode: spin on the inbound ring instead of parking.  The
+        // expired-deadline poll preserves the flush policy the sleeping path
+        // applies before parking (a held sub-cap batch still ships within its
+        // deadline); the periodic yield keeps oversubscribed hosts — and
+        // single-CPU CI — live.
+        ep_->PollExpiredDeadlines();
+        if (++idle_spins % 64 == 0) {
+          std::this_thread::yield();
+        }
+        CpuRelax();
+      } else {
+        // Nothing to do right now.  Credit returns are silent (atomic adds),
+        // so bound the sleep rather than waiting for a message that may not
+        // come.
+        const bool settled = ranked_ ? LocallyQuiescent() : done_;
+        ep_->WaitForTraffic(std::chrono::microseconds(settled ? 50 : 200));
+      }
     }
   }
+}
+
+void LiveNode::PollAllocWindow() {
+  if (!track_allocs_ || alloc_window_done_) {
+    return;
+  }
+  if (!alloc_window_open_) {
+    // Warmup: the first quarter of the quota grows every buffer, pool and
+    // freelist to its steady-state capacity; only what comes after counts.
+    if (!halted_ && counters_.completed >= quota_ / 4) {
+      alloc_window_open_ = true;
+      alloc::ResetThread();
+      alloc::EnableThread();
+    }
+    return;
+  }
+  if (halted_) {
+    alloc::DisableThread();
+    hot_path_allocs_ = alloc::ThreadCount();
+    alloc_window_open_ = false;
+    alloc_window_done_ = true;
+    if (rack_->params().alloc_assert && alloc::TrackerAvailable()) {
+      CCKVS_CHECK_EQ(hot_path_allocs_, 0u);
+    }
+  }
+}
+
+void LiveNode::PublishCounters() {
+  if (pub_ == nullptr) {
+    return;
+  }
+  WorkerCounters& w = *pub_;
+  const auto relaxed = std::memory_order_relaxed;
+  w.ops.store(counters_.completed, relaxed);
+  w.hits.store(counters_.hit_completed, relaxed);
+  w.misses.store(counters_.miss_completed, relaxed);
+  w.rpcs.store(counters_.rpcs_sent, relaxed);
+  w.msgs_sent.store(ep_->coalescer().messages_sent(), relaxed);
+  w.batches_sent.store(ep_->coalescer().batches_sent(), relaxed);
+  w.flush_size.store(ep_->coalescer().flushes(FlushCause::kSize), relaxed);
+  w.flush_boundary.store(ep_->coalescer().flushes(FlushCause::kBoundary), relaxed);
+  w.flush_idle.store(ep_->coalescer().flushes(FlushCause::kIdle), relaxed);
+  w.flush_deadline.store(ep_->coalescer().flushes(FlushCause::kDeadline), relaxed);
+  w.allocs.store(track_allocs_ ? alloc::ThreadCount() : 0, relaxed);
+  w.inbound_depth.store(rack_->transport().fabric().InboundDepth(id_), relaxed);
 }
 
 std::size_t LiveNode::PollInbound(std::size_t max) {
@@ -299,8 +381,13 @@ bool LiveNode::FillIdleSessions() {
 void LiveNode::IssueOp(std::uint32_t slot) {
   Session& sess = sessions_[slot];
   CCKVS_DCHECK(sess.idle);
-  sess.op = gen_.Next();
-  sess.invoke = NowTs();
+  gen_.NextInto(&sess.op);  // reuses the slot's value capacity
+  sess.invoke_cycles = CycleNow();
+  if (record_history_) {
+    // The history clock is only consulted when a history is being recorded;
+    // latency always comes from the per-op cycle stamps.
+    sess.invoke = NowTs();
+  }
   sess.idle = false;
   --idle_sessions_;
   if (hot_mgr_ != nullptr && hot_mgr_->coordinator() &&
@@ -317,13 +404,12 @@ void LiveNode::RouteOp(std::uint32_t slot) {
   const Key key = sess.op.key;
   if (cache_->Probe(key)) {
     if (sess.op.type == OpType::kGet) {
-      Value value;
       Timestamp ts;
       const auto result = engine_->Read(
-          key, &value, &ts,
+          key, &read_scratch_, &ts,
           [this, slot](const Value& v, Timestamp t) { CompleteOp(slot, v, t, true); });
       if (result == CoherenceEngine::ReadResult::kHit) {
-        CompleteOp(slot, value, ts, true);
+        CompleteOp(slot, read_scratch_, ts, true);
       }
       // kBlocked: the parked-reader callback completes the op.
       return;
@@ -358,10 +444,9 @@ void LiveNode::RouteMissOp(std::uint32_t slot) {
   }
   Partition& home = rack_->PartitionOf(key);
   if (sess.op.type == OpType::kGet) {
-    Value value;
     Timestamp ts;
     bool resident = false;
-    const bool ok = home.Get(key, &value, &ts, &resident);
+    const bool ok = home.Get(key, &read_scratch_, &ts, &resident);
     CCKVS_CHECK(ok);  // the synthesizer guarantees every GET succeeds
     if (resident) {
       if (!retrying_gated_) {
@@ -370,7 +455,7 @@ void LiveNode::RouteMissOp(std::uint32_t slot) {
       parked_gated_.push_back(slot);
       return;
     }
-    CompleteOp(slot, value, ts, false);
+    CompleteOp(slot, read_scratch_, ts, false);
   } else {
     Timestamp ts;
     if (!home.TryPut(key, sess.op.value, &ts)) {
@@ -392,10 +477,12 @@ void LiveNode::StartCacheWrite(std::uint32_t slot) {
     RouteMissOp(slot);
     return;
   }
-  engine_->Write(key, sessions_[slot].op.value, [this, slot, key] {
+  // [this, slot] fits std::function's small-buffer optimization; capturing
+  // `key` too would push the closure past it and heap-allocate per write.
+  engine_->Write(key, sessions_[slot].op.value, [this, slot] {
     // For Lin, pending_ts still holds the completed write's timestamp; for SC
     // the entry timestamp is the write's own (done fires synchronously).
-    CacheEntry* e = cache_->Find(key);
+    CacheEntry* e = cache_->Find(sessions_[slot].op.key);
     const Timestamp ts =
         (engine_->model() == ConsistencyModel::kLin && e != nullptr) ? e->pending_ts
         : e != nullptr                                               ? e->ts()
@@ -567,10 +654,12 @@ void LiveNode::CompleteOp(std::uint32_t slot, const Value& read_value, Timestamp
   } else {
     ++counters_.miss_completed;
   }
-  const SimTime now = NowTs();
-  latency_.Record(now - sess.invoke);
+  // Per-op latency from raw cycle stamps (rdtsc where available): immune to
+  // the history clock's tie-breaking bumps and cheap enough to keep on in
+  // busy-poll runs — the Fig 13c-comparable numbers come from this histogram.
+  latency_.Record(CyclesToNs(CycleNow() - sess.invoke_cycles));
 
-  if (rack_->params().record_history) {
+  if (record_history_) {
     HistoryOp h;
     h.session = sess.id;
     h.type = sess.op.type;
@@ -578,7 +667,7 @@ void LiveNode::CompleteOp(std::uint32_t slot, const Value& read_value, Timestamp
     h.value = sess.op.type == OpType::kPut ? sess.op.value : read_value;
     h.ts = ts;
     h.invoke = sess.invoke;
-    h.complete = now;
+    h.complete = NowTs();
     history_.push_back(std::move(h));
   }
 

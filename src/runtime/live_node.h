@@ -19,7 +19,6 @@
 #define CCKVS_RUNTIME_LIVE_NODE_H_
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -28,6 +27,7 @@
 #include "src/common/histogram.h"
 #include "src/protocol/engine.h"
 #include "src/runtime/control_messages.h"
+#include "src/runtime/profiler.h"
 #include "src/runtime/stop.h"
 #include "src/runtime/transport.h"
 #include "src/store/partition.h"
@@ -67,6 +67,10 @@ class LiveNode final : private HotSetHost {
     std::uint64_t rpcs_sent = 0;     // ranked mode: remote-home misses over RPC
   };
   const Counters& counters() const { return counters_; }
+  // Operator-new count inside the steady-state measurement window (0 when
+  // params.track_allocs is off or the tracker is compiled out; see
+  // common/alloc_tracker.h).
+  std::uint64_t hot_path_allocs() const { return hot_path_allocs_; }
   const Histogram& latency() const { return latency_; }
   const std::vector<HistoryOp>& history_ops() const { return history_; }
   const SymmetricCache& cache() const { return *cache_; }
@@ -76,9 +80,31 @@ class LiveNode final : private HotSetHost {
  private:
   struct Session {
     Op op;
-    SimTime invoke = 0;
+    SimTime invoke = 0;               // history clock (record_history runs)
+    std::uint64_t invoke_cycles = 0;  // rdtsc stamp; feeds the latency histogram
     SessionId id = 0;
     bool idle = true;
+  };
+
+  // Fixed-capacity FIFO of parked session slots.  A session is parked at most
+  // once, so capacity == session count and push never allocates — the deque
+  // it replaces would allocate chunks on the hot path.
+  class SlotRing {
+   public:
+    void Reset(std::size_t capacity) {
+      slots_.assign(capacity, 0);
+      head_ = tail_ = 0;
+    }
+    bool empty() const { return head_ == tail_; }
+    std::size_t size() const { return static_cast<std::size_t>(tail_ - head_); }
+    std::uint32_t front() const { return slots_[head_ % slots_.size()]; }
+    void pop_front() { ++head_; }
+    void push_back(std::uint32_t slot) { slots_[tail_++ % slots_.size()] = slot; }
+
+   private:
+    std::vector<std::uint32_t> slots_;
+    std::uint64_t head_ = 0;
+    std::uint64_t tail_ = 0;
   };
 
   std::size_t PollInbound(std::size_t max);
@@ -111,6 +137,10 @@ class LiveNode final : private HotSetHost {
   // Strictly increasing per-thread history clock (ties would make the
   // checkers' per-session invoke sort ambiguous).
   SimTime NowTs();
+  // Refreshes this node's WorkerCounters block (relaxed stores; profiler.h).
+  void PublishCounters();
+  // Opens/closes the steady-state allocation window (track_allocs_ runs).
+  void PollAllocWindow();
 
   // --- hot-set subsystem (online_topk runs) ---
   // HotSetHost: the live half of the shared transition machine in topk/.
@@ -126,6 +156,7 @@ class LiveNode final : private HotSetHost {
   LiveRack* rack_;
   NodeId id_;
   LiveTransport::Endpoint* ep_;
+  WorkerCounters* pub_ = nullptr;  // this node's block in the rack's vector
 
   std::unique_ptr<Partition> partition_;
   std::unique_ptr<SymmetricCache> cache_;
@@ -135,12 +166,27 @@ class LiveNode final : private HotSetHost {
 
   std::vector<Session> sessions_;
   std::size_t idle_sessions_ = 0;
-  std::deque<std::uint32_t> parked_sc_writes_;
-  std::deque<std::uint32_t> parked_gated_;  // ops waiting out an epoch barrier
+  SlotRing parked_sc_writes_;
+  SlotRing parked_gated_;  // ops waiting out an epoch barrier
   bool retrying_gated_ = false;  // re-parks during RetryGatedOps are not counted
   std::uint64_t quota_ = 0;
   bool halted_ = false;  // stopped issuing new ops
   bool done_ = false;    // locally quiescent, reported to the rack
+  bool record_history_ = false;  // cached: skips history-clock reads when off
+  bool busy_poll_ = false;
+
+  // --- steady-state allocation window (params.track_allocs) ---
+  // Opens once warmup is over (a quarter of the quota completed), closes when
+  // the node halts; everything the thread allocates in between is a hot-path
+  // allocation.  See common/alloc_tracker.h and docs/PERFORMANCE.md.
+  bool track_allocs_ = false;
+  bool alloc_window_open_ = false;
+  bool alloc_window_done_ = false;
+  std::uint64_t hot_path_allocs_ = 0;
+
+  // Reused read buffer for the miss path and cache-read path; the seqlock
+  // copy-out and the synthesizer both resize into it, reusing its capacity.
+  Value read_scratch_;
 
   // --- ranked-mode state ---
   bool ranked_ = false;

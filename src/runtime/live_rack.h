@@ -31,10 +31,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/protocol/engine.h"
 #include "src/runtime/live_node.h"
+#include "src/runtime/profiler.h"
 #include "src/runtime/report.h"
 #include "src/runtime/stop.h"
 #include "src/runtime/transport.h"
@@ -94,6 +96,38 @@ struct LiveRackParams {
   bool record_history = false;  // sealed per-key history for the checkers
   std::uint64_t seed = 1;
 
+  // --- hot-path execution mode (docs/PERFORMANCE.md) ---
+  // Pin node thread i to core pin_core_base + i*pin_stride (modulo the online
+  // CPU count).  NUMA-aware when built with libnuma; a plain affinity mask
+  // otherwise.
+  bool pinning = false;
+  int pin_core_base = 0;
+  int pin_stride = 1;
+  // Replace the idle park (WaitForTraffic) with a bounded spin: lowest
+  // latency, one core at 100% per node.  The coalescer's deadline flush is
+  // polled every spin, so held batches still ship on time.
+  bool busy_poll = false;
+
+  // --- observability (runtime/profiler.h) ---
+  bool profile = false;  // background thread samples WorkerCounters
+  std::uint64_t profile_interval_ms = 1000;
+  std::string profile_csv_path;   // non-empty: stream samples as CSV
+  bool profile_to_stderr = false; // mirror samples to stderr
+
+  // Count operator-new calls on each node thread between warmup (quota/4
+  // completed) and halt; the count lands in LiveReport::hot_path_allocs.
+  // With alloc_assert the run CHECK-fails unless that count is zero — the
+  // zero-steady-state-allocation invariant, enforceable under SC with a
+  // prefilled store (Lin's variant churn and pending-write map allocate by
+  // design).  No-op under ASan/TSan, which replace operator new themselves.
+  bool track_allocs = false;
+  bool alloc_assert = false;
+  // Materialize every key of the keyspace in its home shard up front, so
+  // steady-state cold-key PUTs overwrite slab slots in place instead of
+  // inserting (inserts allocate index/slab growth).  Only sensible for small
+  // keyspaces (the zero-alloc benchmark uses 65'536 keys).
+  bool prefill_store = false;
+
   // Which fabric carries protocol traffic (inproc | shm | socket) and — for
   // multi-process racks — which rank this process is (transport.rank >= 0:
   // this process runs exactly one node; peers are other processes).  In
@@ -152,10 +186,17 @@ class LiveRack {
     return nodes_done_.load(std::memory_order_acquire) == params_.num_nodes;
   }
 
+  // Node `id`'s profiling counter block (valid for the rack's lifetime; the
+  // node thread writes it, the profiler thread reads it).
+  WorkerCounters& worker_counters(NodeId id) {
+    return worker_counters_[static_cast<std::size_t>(id)];
+  }
+
  private:
   LiveRackParams params_;
   LiveTransport transport_;
   ModuloPartitioner partitioner_;
+  std::vector<WorkerCounters> worker_counters_;  // atomics: sized once, never moved
   std::vector<std::unique_ptr<LiveNode>> nodes_;
   StopSource stop_;
   std::atomic<int> nodes_done_{0};

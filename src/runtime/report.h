@@ -12,10 +12,12 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/cckvs/params.h"
 #include "src/common/histogram.h"
 #include "src/protocol/engine.h"
+#include "src/runtime/profiler.h"
 
 namespace cckvs {
 
@@ -61,6 +63,13 @@ struct LiveReport {
   // hanging the run.
   std::string transport_error;
   std::uint64_t rpcs_sent = 0;  // ranked-mode remote-home misses served by RPC
+
+  // Hot-path allocation audit (params.track_allocs): operator-new calls across
+  // all node threads inside their steady-state windows.  0 is the invariant
+  // for SC + prefill_store runs; also 0 when the tracker is compiled out.
+  std::uint64_t hot_path_allocs = 0;
+  // Per-interval per-node time series (params.profile; runtime/profiler.h).
+  std::vector<ProfilerSample> profiler_samples;
 
   bool ok() const { return transport_error.empty(); }
 };

@@ -113,7 +113,9 @@ class ShmFabric final : public TransportFabric {
       : n_(config.num_nodes),
         ring_bytes_(opts.shm_ring_bytes),
         creator_(opts.rank <= 0),
-        name_(opts.shm_name) {}
+        name_(opts.shm_name),
+        tx_scratch_(static_cast<std::size_t>(config.num_nodes)),
+        rx_scratch_(static_cast<std::size_t>(config.num_nodes)) {}
 
   ~ShmFabric() override {
     if (base_ != nullptr) {
@@ -187,12 +189,17 @@ class ShmFabric final : public TransportFabric {
   }
 
   void Deliver(NodeId to, WireBatch&& batch) override {
-    Buffer buf;
+    const NodeId src = batch.src;
+    // Per-src serialize scratch: in all-in-one mode every node thread
+    // delivers through this one fabric object, each as a distinct src.
+    Buffer& buf = tx_scratch_[src];
+    buf.clear();
     SerializeWireBatch(batch, &buf);
+    batch_pool().Recycle(std::move(batch));  // bytes are out; rewarm the slots
     const std::uint64_t frame = 4 + buf.size();
     CCKVS_CHECK_LT(frame, ring_bytes_);  // a frame must fit the lane
-    RingHdr* r = ring_hdr(batch.src, to);
-    std::uint8_t* data = ring_data(batch.src, to);
+    RingHdr* r = ring_hdr(src, to);
+    std::uint8_t* data = ring_data(src, to);
     const std::uint64_t tail = r->tail.load(std::memory_order_relaxed);
     bool counted_full = false;
     while (ring_bytes_ - (tail - r->head.load(std::memory_order_acquire)) < frame) {
@@ -226,9 +233,9 @@ class ShmFabric final : public TransportFabric {
 
   std::size_t Drain(NodeId self, std::vector<WireBatch>* out,
                     std::size_t max) override {
-    // Local scratch: in all-in-one mode every node thread drains through this
-    // one fabric object concurrently (each on its own lanes).
-    Buffer scratch;
+    // Per-self receive scratch: in all-in-one mode every node thread drains
+    // through this one fabric object concurrently (each on its own lanes).
+    Buffer& scratch = rx_scratch_[self];
     std::size_t moved = 0;
     for (int src = 0; src < n_ && moved < max; ++src) {
       if (src == self) {
@@ -254,11 +261,12 @@ class ShmFabric final : public TransportFabric {
         scratch.resize(len);
         CopyOut(data, ring_bytes_, head + 4, scratch.data(), len);
         r->head.store(head + 4 + len, std::memory_order_release);
-        WireBatch batch;
+        WireBatch batch = batch_pool().Acquire();  // decode into warm slots
         if (!TryDeserializeWireBatch(scratch.data(), len, &batch)) {
           SetError("shm lane " + std::to_string(src) + "->" +
                    std::to_string(static_cast<int>(self)) +
                    ": undecodable frame of " + std::to_string(len) + " bytes");
+          batch_pool().Recycle(std::move(batch));
           continue;
         }
         out->push_back(std::move(batch));
@@ -310,6 +318,21 @@ class ShmFabric final : public TransportFabric {
     return FabricStats{d->pushes.load(std::memory_order_relaxed),
                        d->full_waits.load(std::memory_order_relaxed),
                        d->wakeups.load(std::memory_order_relaxed)};
+  }
+
+  std::uint64_t InboundDepth(NodeId self) const override {
+    // Undrained BYTES across self's inbound lanes (the shm bound is bytes,
+    // not batches).  Relaxed snapshot — profiler gauge only.
+    std::uint64_t bytes = 0;
+    for (int src = 0; src < n_; ++src) {
+      if (src == self) {
+        continue;
+      }
+      const RingHdr* r = ring_hdr(static_cast<NodeId>(src), self);
+      bytes += r->tail.load(std::memory_order_relaxed) -
+               r->head.load(std::memory_order_relaxed);
+    }
+    return bytes;
   }
 
   std::string error() const override {
@@ -428,6 +451,10 @@ class ShmFabric final : public TransportFabric {
   std::atomic<bool> faulted_{false};
   mutable std::mutex error_mu_;
   std::string error_;
+  // Reused serialize/deserialize buffers: tx indexed by src (each node thread
+  // delivers only as itself), rx indexed by self (each drains only its own).
+  std::vector<Buffer> tx_scratch_;
+  std::vector<Buffer> rx_scratch_;
 };
 
 }  // namespace

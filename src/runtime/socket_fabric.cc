@@ -95,7 +95,8 @@ class SocketFabric final : public TransportFabric {
         rank_(opts.rank),
         opts_(opts),
         fds_(static_cast<std::size_t>(n_) * n_, -1),
-        returned_(static_cast<std::size_t>(n_) * n_) {
+        returned_(static_cast<std::size_t>(n_) * n_),
+        tx_scratch_(static_cast<std::size_t>(n_)) {
     inboxes_.reserve(static_cast<std::size_t>(n_));
     for (int i = 0; i < n_; ++i) {
       inboxes_.push_back(
@@ -145,9 +146,13 @@ class SocketFabric final : public TransportFabric {
   }
 
   void Deliver(NodeId to, WireBatch&& batch) override {
-    Buffer buf;
+    const NodeId src = batch.src;
+    // Per-src serialize scratch: each node thread delivers only as itself.
+    Buffer& buf = tx_scratch_[src];
+    buf.clear();
     SerializeWireBatch(batch, &buf);
-    const int fd = Fd(batch.src, to);
+    batch_pool().Recycle(std::move(batch));  // bytes are out; rewarm the slots
+    const int fd = Fd(src, to);
     if (fd < 0) {
       SetError("send to node " + std::to_string(static_cast<int>(to)) +
                ": connection is down");
@@ -203,6 +208,10 @@ class SocketFabric final : public TransportFabric {
   FabricStats stats(NodeId self) const override {
     const MpscChannel<WireBatch>& inbox = *inboxes_[self];
     return FabricStats{inbox.pushes(), inbox.full_waits(), inbox.wakeups()};
+  }
+
+  std::uint64_t InboundDepth(NodeId self) const override {
+    return inboxes_[self]->size();
   }
 
   std::string error() const override {
@@ -469,8 +478,10 @@ class SocketFabric final : public TransportFabric {
                std::to_string(static_cast<int>(peer)));
       return false;
     }
-    Buffer payload(len);
-    if (len > 0 && ReadFull(fd, payload.data(), len) != 1) {
+    // Member payload buffer: HandleFrame only ever runs on the one rx thread,
+    // and resize() past the high-water mark is the only allocation.
+    rx_payload_.resize(len);
+    if (len > 0 && ReadFull(fd, rx_payload_.data(), len) != 1) {
       if (!shutdown_.load(std::memory_order_acquire)) {
         SetError("peer " + std::to_string(static_cast<int>(peer)) +
                  " hung up mid-frame");
@@ -479,10 +490,11 @@ class SocketFabric final : public TransportFabric {
     }
     switch (type) {
       case kSocketFrameBatch: {
-        WireBatch batch;
-        if (!TryDeserializeWireBatch(payload, &batch)) {
+        WireBatch batch = batch_pool().Acquire();  // decode into warm slots
+        if (!TryDeserializeWireBatch(rx_payload_.data(), len, &batch)) {
           SetError("undecodable batch frame from peer " +
                    std::to_string(static_cast<int>(peer)));
+          batch_pool().Recycle(std::move(batch));
           return false;
         }
         inboxes_[owner]->Push(std::move(batch));
@@ -494,8 +506,9 @@ class SocketFabric final : public TransportFabric {
                    std::to_string(static_cast<int>(peer)));
           return false;
         }
-        Cell(owner, peer).fetch_add(static_cast<int>(GetU32Le(payload.data())),
-                                    std::memory_order_release);
+        Cell(owner, peer).fetch_add(
+            static_cast<int>(GetU32Le(rx_payload_.data())),
+            std::memory_order_release);
         return true;
       }
       case kSocketFrameHello:
@@ -516,6 +529,8 @@ class SocketFabric final : public TransportFabric {
   std::atomic<std::uint64_t> inflight_{0};
   int listen_fd_ = -1;
   std::string listen_path_;
+  std::vector<Buffer> tx_scratch_;  // per src; each node writes only as itself
+  Buffer rx_payload_;               // rx-thread-only frame reassembly buffer
   std::thread rx_thread_;
   std::atomic<bool> shutdown_{false};
   std::atomic<bool> faulted_{false};

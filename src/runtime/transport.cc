@@ -16,7 +16,8 @@ std::uint64_t SteadyNowNs() {
           .count());
 }
 
-CoalescerConfig MakeCoalescerConfig(const LiveTransport::Config& c, NodeId self) {
+CoalescerConfig MakeCoalescerConfig(const LiveTransport::Config& c, NodeId self,
+                                    WireBatchPool* pool) {
   CoalescerConfig cc;
   cc.self = self;
   cc.num_peers = c.num_nodes;
@@ -25,6 +26,11 @@ CoalescerConfig MakeCoalescerConfig(const LiveTransport::Config& c, NodeId self)
   if (c.coalescing && c.coalesce_flush_deadline_us > 0) {
     cc.flush_deadline_ns = c.coalesce_flush_deadline_us * 1000;
     cc.now_ns = c.clock_ns != nullptr ? c.clock_ns : SteadyNowNs;
+  }
+  cc.pool = pool;
+  if (c.prewarm_batches > 0) {
+    cc.warm_slots = static_cast<std::size_t>(c.coalesce_max_batch);
+    cc.warm_value_bytes = c.prewarm_value_bytes;
   }
   return cc;
 }
@@ -43,6 +49,12 @@ LiveTransport::LiveTransport(const Config& config) : config_(config) {
   fabric_ = MakeFabric(fc, config.transport, &init_error_);
   if (fabric_ == nullptr) {
     return;  // ok() == false; init_error_ says why
+  }
+  if (config.prewarm_batches > 0) {
+    fabric_->batch_pool().Prewarm(
+        config.prewarm_batches,
+        static_cast<std::size_t>(config.coalesce_max_batch),
+        config.prewarm_value_bytes);
   }
   endpoints_.resize(static_cast<std::size_t>(config.num_nodes));
   const int rank = config.transport.rank;
@@ -64,7 +76,8 @@ LiveTransport::~LiveTransport() {
 LiveTransport::Endpoint::Endpoint(LiveTransport* transport, NodeId self)
     : transport_(transport),
       self_(self),
-      coalescer_(MakeCoalescerConfig(transport->config_, self)),
+      coalescer_(MakeCoalescerConfig(transport->config_, self,
+                                     &transport->fabric_->batch_pool())),
       bcast_credits_(transport->config_.num_nodes,
                      transport->config_.bcast_credits_per_peer),
       batcher_(transport->config_.num_nodes, transport->config_.credit_update_batch),
@@ -85,7 +98,7 @@ void LiveTransport::Endpoint::Enqueue(NodeId to, WireBody body) {
 }
 
 void LiveTransport::Endpoint::DeliverBatch(NodeId to, WireBatch batch) {
-  if (batch.msgs.empty()) {
+  if (batch.empty()) {
     return;
   }
   fabric().Deliver(to, std::move(batch));
@@ -139,7 +152,7 @@ void LiveTransport::Endpoint::BroadcastCredited(const T& msg,
                                                 std::uint64_t* counter) {
   for (int j = 0; j < transport_->config_.num_nodes; ++j) {
     if (j != self_) {
-      SendCredited(static_cast<NodeId>(j), WireBody{msg});
+      SendCreditedTyped(static_cast<NodeId>(j), msg);
       ++*counter;
     }
   }
@@ -170,7 +183,7 @@ void LiveTransport::Endpoint::SendAck(NodeId to, const AckMsg& msg) {
   // outstanding invalidations bound them (§6.3) — no pool, no parking.  They
   // still coalesce: an iteration that polled a burst of invalidations ships
   // all its acks to one writer as a single batch.
-  Enqueue(to, WireBody{msg});
+  EnqueueTyped(to, msg);
   ++acks_sent_;
 }
 
@@ -213,6 +226,20 @@ bool LiveTransport::Endpoint::NothingPending() const {
     }
   }
   return coalescer_.AllEmpty();
+}
+
+void LiveTransport::Endpoint::PollExpiredDeadlines() {
+  if (coalescer_.AllEmpty()) {
+    return;
+  }
+  if (coalescer_.deadline_enabled()) {
+    // Boundary+deadline flush: ships exactly the batches whose hold expired
+    // (recorded as kDeadline), keeps younger ones accumulating — the same
+    // policy the pre-sleep path applies, minus the sleep.
+    FlushBatches(FlushCause::kBoundary);
+  } else if (transport_->config_.coalesce_flush_on_idle) {
+    FlushBatches(FlushCause::kIdle);
+  }
 }
 
 void LiveTransport::Endpoint::WaitForTraffic(std::chrono::microseconds timeout) {

@@ -92,6 +92,14 @@ class LiveTransport {
     // Monotonic clock for the deadline policy; tests inject a fake.  Defaults
     // to steady_clock when a deadline is set.
     std::function<std::uint64_t()> clock_ns;
+    // Stock the fabric's WireBatchPool with this many fully-warm batches
+    // (coalesce_max_batch slots, prewarm_value_bytes of string capacity each)
+    // at construction.  0 = start cold and warm up through use — fine for
+    // correctness (warm-up is one-time per slot), required off for tests that
+    // count pool behaviour.  LiveRack sets it for track_allocs runs so the
+    // measured window starts past all first-touch allocations.
+    std::size_t prewarm_batches = 0;
+    std::size_t prewarm_value_bytes = 0;
     // Which fabric carries the batches (inproc | shm | socket), and — for
     // ranked multi-process racks — which endpoint this process owns.
     TransportOptions transport;
@@ -128,7 +136,7 @@ class LiveTransport {
       UpdateRunDemux demux(&updates_collapsed_);
       std::size_t processed = 0;
       for (const WireBatch& batch : scratch_) {
-        for (const WireBody& body : batch.msgs) {
+        for (const WireBody& body : batch) {
           demux.OnMessage(batch.src, body, handler);
           if (IsCredited(body) && batcher_.OnReceived(batch.src)) {
             // Return a credit batch to the sender (header-only message in the
@@ -146,7 +154,10 @@ class LiveTransport {
           ++processed;
         }
       }
-      demux.Flush(handler);
+      demux.Flush(handler);  // demux holds pointers into scratch_: flush first
+      for (WireBatch& batch : scratch_) {
+        fabric().batch_pool().Recycle(std::move(batch));
+      }
       messages_received_ += processed;
       return processed;
     }
@@ -170,6 +181,13 @@ class LiveTransport {
     // Flushes open batches first when Config::coalesce_flush_on_idle is set,
     // so no message can sleep inside a batch buffer.
     void WaitForTraffic(std::chrono::microseconds timeout);
+
+    // The busy-poll counterpart of WaitForTraffic's pre-sleep flush: applies
+    // the same deadline/idle backstop policy WITHOUT sleeping.  A busy-poll
+    // run loop never parks, so without this call a sub-cap batch held under
+    // coalesce_flush_deadline_us would only ship at the next boundary flush
+    // with traffic — or never, on an idle node.  Cheap when nothing is open.
+    void PollExpiredDeadlines();
 
     std::uint64_t messages_received() const { return messages_received_; }
     std::uint64_t batches_received() const { return fabric().stats(self_).pushes; }
@@ -200,6 +218,31 @@ class LiveTransport {
     void DeliverBatch(NodeId to, WireBatch batch);
     template <typename T>
     void BroadcastCredited(const T& msg, std::uint64_t* counter);
+
+    // Typed Enqueue: assigns the message into a recycled batch slot instead
+    // of constructing a WireBody temporary — the zero-alloc fast path for
+    // every steady-state send.  Typed sends are never Term* control traffic.
+    template <typename T>
+    void EnqueueTyped(NodeId to, const T& msg) {
+      fabric().AddInflight(1);
+      ++data_sent_;
+      if (coalescer_.AppendTyped(to, msg)) {
+        DeliverBatch(to, coalescer_.Take(to, FlushCause::kSize));
+      }
+    }
+
+    // Typed SendCredited: same credit protocol as the WireBody overload; only
+    // the (rare) credit-parked path still materializes a WireBody.
+    template <typename T>
+    void SendCreditedTyped(NodeId to, const T& msg) {
+      HarvestCredits(to);
+      if (!pending_[to].empty() || !bcast_credits_.TryAcquire(to)) {
+        ++credit_parks_;
+        pending_[to].push_back(WireBody{msg});
+        return;
+      }
+      EnqueueTyped(to, msg);
+    }
 
     LiveTransport* transport_;
     NodeId self_;

@@ -171,139 +171,126 @@ inline void SerializeWireBody(const WireBody& body, Buffer* out) {
   }
 }
 
-// Decodes one tagged message.  Returns false on truncation or unknown tag.
+namespace wire_internal {
+
+// Reuses *out's current alternative when it already holds a T (string/vector
+// capacity survives), else re-seats the variant.  The zero-alloc receive
+// path decodes directly into recycled WireBatch slots this way.
+template <typename T>
+inline T* SlotAs(WireBody* out) {
+  if (auto* p = std::get_if<T>(out)) {
+    return p;
+  }
+  return &out->emplace<T>();
+}
+
+}  // namespace wire_internal
+
+// Decodes one tagged message into *out in place.  Returns false on truncation
+// or unknown tag (*out's contents are then unspecified but valid).
 inline bool TryDeserializeWireBody(SafeReader* r, WireBody* out) {
   using wire_internal::GetTs;
+  using wire_internal::SlotAs;
   std::uint8_t tag = 0;
   if (!r->GetU8(&tag)) {
     return false;
   }
   switch (static_cast<WireTag>(tag)) {
     case WireTag::kUpdate: {
-      UpdateMsg m;
-      if (!r->GetU64(&m.key) || !GetTs(r, &m.ts) || !r->GetString(&m.value)) {
-        return false;
-      }
-      *out = std::move(m);
-      return true;
+      UpdateMsg* m = SlotAs<UpdateMsg>(out);
+      return r->GetU64(&m->key) && GetTs(r, &m->ts) && r->GetString(&m->value);
     }
     case WireTag::kInvalidate: {
-      InvalidateMsg m;
-      if (!r->GetU64(&m.key) || !GetTs(r, &m.ts)) {
-        return false;
-      }
-      *out = m;
-      return true;
+      InvalidateMsg* m = SlotAs<InvalidateMsg>(out);
+      return r->GetU64(&m->key) && GetTs(r, &m->ts);
     }
     case WireTag::kAck: {
-      AckMsg m;
-      if (!r->GetU64(&m.key) || !GetTs(r, &m.ts)) {
-        return false;
-      }
-      *out = m;
-      return true;
+      AckMsg* m = SlotAs<AckMsg>(out);
+      return r->GetU64(&m->key) && GetTs(r, &m->ts);
     }
     case WireTag::kHotSetAnnounce: {
-      HotSetAnnounceMsg m;
+      HotSetAnnounceMsg* m = SlotAs<HotSetAnnounceMsg>(out);
       std::uint32_t count = 0;
-      if (!r->GetU64(&m.epoch) || !r->GetU32(&count) ||
+      if (!r->GetU64(&m->epoch) || !r->GetU32(&count) ||
           static_cast<std::size_t>(count) * 8 > r->remaining()) {
         return false;
       }
-      m.keys.resize(count);
-      for (Key& k : m.keys) {
+      m->keys.resize(count);
+      for (Key& k : m->keys) {
         if (!r->GetU64(&k)) {
           return false;
         }
       }
-      *out = std::move(m);
       return true;
     }
     case WireTag::kFill: {
-      FillMsg m;
-      if (!r->GetU64(&m.key) || !GetTs(r, &m.ts) || !r->GetU64(&m.epoch) ||
-          !r->GetString(&m.value)) {
-        return false;
-      }
-      *out = std::move(m);
-      return true;
+      FillMsg* m = SlotAs<FillMsg>(out);
+      return r->GetU64(&m->key) && GetTs(r, &m->ts) && r->GetU64(&m->epoch) &&
+             r->GetString(&m->value);
     }
     case WireTag::kEpochInstalled: {
-      EpochInstalledMsg m;
-      if (!r->GetU64(&m.epoch)) {
-        return false;
-      }
-      *out = m;
-      return true;
+      EpochInstalledMsg* m = SlotAs<EpochInstalledMsg>(out);
+      return r->GetU64(&m->epoch);
     }
     case WireTag::kRpcRequest: {
-      RpcRequest m;
+      RpcRequest* m = SlotAs<RpcRequest>(out);
       std::uint8_t op = 0;
-      if (!r->GetU32(&m.op_id) || !r->GetU8(&op) || op > 1 || !r->GetU64(&m.key) ||
-          !r->GetString(&m.value)) {
+      if (!r->GetU32(&m->op_id) || !r->GetU8(&op) || op > 1 ||
+          !r->GetU64(&m->key) || !r->GetString(&m->value)) {
         return false;
       }
-      m.op = static_cast<OpType>(op);
-      *out = std::move(m);
+      m->op = static_cast<OpType>(op);
       return true;
     }
     case WireTag::kRpcResponse: {
-      RpcResponse m;
+      RpcResponse* m = SlotAs<RpcResponse>(out);
       std::uint8_t gated = 0;
-      if (!r->GetU32(&m.op_id) || !GetTs(r, &m.ts) || !r->GetU8(&gated) ||
-          gated > 1 || !r->GetString(&m.value)) {
+      if (!r->GetU32(&m->op_id) || !GetTs(r, &m->ts) || !r->GetU8(&gated) ||
+          gated > 1 || !r->GetString(&m->value)) {
         return false;
       }
-      m.gated = gated != 0;
-      *out = std::move(m);
+      m->gated = gated != 0;
       return true;
     }
     case WireTag::kTermProbe: {
-      TermProbeMsg m;
-      if (!r->GetU32(&m.round)) {
-        return false;
-      }
-      *out = m;
-      return true;
+      TermProbeMsg* m = SlotAs<TermProbeMsg>(out);
+      return r->GetU32(&m->round);
     }
     case WireTag::kTermStatus: {
-      TermStatusMsg m;
+      TermStatusMsg* m = SlotAs<TermStatusMsg>(out);
       std::uint8_t rank = 0;
       std::uint8_t done = 0;
-      if (!r->GetU32(&m.round) || !r->GetU8(&rank) || !r->GetU8(&done) ||
-          !r->GetU64(&m.sent) || !r->GetU64(&m.processed)) {
+      if (!r->GetU32(&m->round) || !r->GetU8(&rank) || !r->GetU8(&done) ||
+          !r->GetU64(&m->sent) || !r->GetU64(&m->processed)) {
         return false;
       }
-      m.rank = static_cast<NodeId>(rank);
-      m.done = done != 0;
-      *out = m;
+      m->rank = static_cast<NodeId>(rank);
+      m->done = done != 0;
       return true;
     }
     case WireTag::kTermHalt: {
-      TermHaltMsg m;
-      if (!r->GetU32(&m.round)) {
-        return false;
-      }
-      *out = m;
-      return true;
+      TermHaltMsg* m = SlotAs<TermHaltMsg>(out);
+      return r->GetU32(&m->round);
     }
   }
   return false;  // unknown tag
 }
 
 inline void SerializeWireBatch(const WireBatch& batch, Buffer* out) {
-  CCKVS_CHECK_LE(batch.msgs.size(),
+  CCKVS_CHECK_LE(batch.size(),
                  static_cast<std::size_t>(std::numeric_limits<std::uint16_t>::max()));
   BufferWriter w(out);
   w.PutU8(batch.src);
-  w.PutU16(static_cast<std::uint16_t>(batch.msgs.size()));
-  for (const WireBody& body : batch.msgs) {
+  w.PutU16(static_cast<std::uint16_t>(batch.size()));
+  for (const WireBody& body : batch) {
     SerializeWireBody(body, out);
   }
 }
 
 // Strict whole-frame decode: the buffer must contain exactly one batch —
-// truncation anywhere and trailing bytes both reject.
+// truncation anywhere and trailing bytes both reject.  Decodes into *out's
+// recycled slots (logical clear, in-place bodies), so a warm batch decodes
+// allocation-free.
 inline bool TryDeserializeWireBatch(const std::uint8_t* data, std::size_t size,
                                     WireBatch* out) {
   SafeReader r(data, size);
@@ -313,14 +300,11 @@ inline bool TryDeserializeWireBatch(const std::uint8_t* data, std::size_t size,
     return false;
   }
   out->src = static_cast<NodeId>(src);
-  out->msgs.clear();
-  out->msgs.reserve(count);
+  out->clear();
   for (std::uint16_t i = 0; i < count; ++i) {
-    WireBody body;
-    if (!TryDeserializeWireBody(&r, &body)) {
+    if (!TryDeserializeWireBody(&r, &out->AppendSlot())) {
       return false;
     }
-    out->msgs.push_back(std::move(body));
   }
   return r.AtEnd();
 }

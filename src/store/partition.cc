@@ -128,10 +128,14 @@ bool Partition::Get(Key key, Value* value, Timestamp* ts,
   if (cache_resident != nullptr) {
     *cache_resident = false;
   }
-  if (config_.synthesize) {
+  if (config_.synthesize || config_.synthesize_into) {
     synthesized_.fetch_add(1, std::memory_order_relaxed);
     if (value != nullptr) {
-      *value = config_.synthesize(key);
+      if (config_.synthesize_into) {
+        config_.synthesize_into(key, value);  // reuses the caller's capacity
+      } else {
+        *value = config_.synthesize(key);
+      }
     }
     if (ts != nullptr) {
       *ts = Timestamp{};

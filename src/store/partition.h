@@ -41,6 +41,11 @@ struct PartitionConfig {
   // Optional synthesizer: value for keys that were never written.  When set, a
   // GET miss returns Synthesize(key) with a zero timestamp instead of failing.
   std::function<Value(Key)> synthesize;
+  // Capacity-reusing variant, preferred by Get when set (the live runtime's
+  // zero-alloc hot path): writes the synthetic value into the caller's buffer
+  // instead of returning a fresh one.  Set both or neither; internal callers
+  // that need an owned Value (MarkCacheResident) use `synthesize`.
+  std::function<void(Key, Value*)> synthesize_into;
 };
 
 struct PartitionStats {

@@ -14,9 +14,10 @@ constexpr char kSynthMagic = 'S';
 
 }  // namespace
 
-Value SynthesizeValue(Key key, std::uint32_t value_bytes) {
+void SynthesizeValueInto(Key key, std::uint32_t value_bytes, Value* out) {
   CCKVS_CHECK_GE(value_bytes, 1u);
-  Value v(value_bytes, '\0');
+  out->resize(value_bytes);
+  Value& v = *out;
   v[0] = kSynthMagic;
   // Deterministic pattern derived from the key.
   std::uint64_t state = key ^ 0x5eed;
@@ -26,16 +27,28 @@ Value SynthesizeValue(Key key, std::uint32_t value_bytes) {
     }
     v[i] = static_cast<char>(state >> ((i % 8) * 8));
   }
+}
+
+Value SynthesizeValue(Key key, std::uint32_t value_bytes) {
+  Value v;
+  SynthesizeValueInto(key, value_bytes, &v);
   return v;
+}
+
+void MakeWriteValueInto(std::uint32_t writer_tag, std::uint64_t seq,
+                        std::uint32_t value_bytes, Value* out) {
+  CCKVS_CHECK_GE(value_bytes, 13u);  // magic + tag + seq(8) must fit
+  out->assign(value_bytes, '\0');
+  Value& v = *out;
+  v[0] = kWriteMagic;
+  std::memcpy(&v[1], &writer_tag, sizeof(writer_tag));
+  std::memcpy(&v[5], &seq, sizeof(seq));
 }
 
 Value MakeWriteValue(std::uint32_t writer_tag, std::uint64_t seq,
                      std::uint32_t value_bytes) {
-  CCKVS_CHECK_GE(value_bytes, 13u);  // magic + tag + seq(8) must fit
-  Value v(value_bytes, '\0');
-  v[0] = kWriteMagic;
-  std::memcpy(&v[1], &writer_tag, sizeof(writer_tag));
-  std::memcpy(&v[5], &seq, sizeof(seq));
+  Value v;
+  MakeWriteValueInto(writer_tag, seq, value_bytes, &v);
   return v;
 }
 
@@ -87,17 +100,21 @@ std::vector<Key> WorkloadGenerator::HottestKeysAt(std::size_t k,
   return keys;
 }
 
-Op WorkloadGenerator::Next() {
+void WorkloadGenerator::NextInto(Op* op) {
   ++ops_;
-  Op op;
   const std::uint64_t rank = sampler_.Sample(rng_);  // 1-based
-  op.key = KeyOfRank(rank - 1);
+  op->key = KeyOfRank(rank - 1);
   if (config_.write_ratio > 0.0 && rng_.NextBool(config_.write_ratio)) {
-    op.type = OpType::kPut;
-    op.value = MakeWriteValue(writer_tag_, seq_++, config_.value_bytes);
+    op->type = OpType::kPut;
+    MakeWriteValueInto(writer_tag_, seq_++, config_.value_bytes, &op->value);
   } else {
-    op.type = OpType::kGet;
+    op->type = OpType::kGet;
   }
+}
+
+Op WorkloadGenerator::Next() {
+  Op op;
+  NextInto(&op);
   return op;
 }
 

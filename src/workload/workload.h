@@ -47,11 +47,19 @@ struct Op {
 // materialization; see store::PartitionConfig::synthesize).
 Value SynthesizeValue(Key key, std::uint32_t value_bytes);
 
+// Same, writing into *out (resize reuses its capacity — no allocation once the
+// buffer has grown to value_bytes; the zero-alloc hot path depends on this).
+void SynthesizeValueInto(Key key, std::uint32_t value_bytes, Value* out);
+
 // Builds a PUT payload that encodes (writer_tag, sequence) — globally unique per
 // write when writer tags are unique, which is what the consistency checkers key
 // on — padded to value_bytes.
 Value MakeWriteValue(std::uint32_t writer_tag, std::uint64_t seq,
                      std::uint32_t value_bytes);
+
+// Same, into *out (capacity-reusing; see SynthesizeValueInto).
+void MakeWriteValueInto(std::uint32_t writer_tag, std::uint64_t seq,
+                        std::uint32_t value_bytes, Value* out);
 
 // Recovers (writer_tag, seq) from a write value; returns false for synthesized
 // (never-written) values.
@@ -70,6 +78,9 @@ class WorkloadGenerator {
                     std::uint64_t seed);
 
   Op Next();
+
+  // Like Next(), but reuses op->value's capacity (zero-alloc hot path).
+  void NextInto(Op* op);
 
   // The key id of popularity rank `rank0` (0-based) at this generator's
   // current drift phase.  All generators of a run agree (same scramble seed)

@@ -1,0 +1,221 @@
+// Profiling subsystem (runtime/profiler.h), the zero-alloc audit
+// (common/alloc_tracker.h + LiveRackParams::track_allocs/alloc_assert), and
+// the run-loop knobs (pinning, busy_poll) the profiler observes.
+//
+// The sampling contract under test: flow counters are published monotonically
+// by worker threads and the profiler reports per-interval DELTAS, so summing
+// every interval's delta for a node must reproduce that node's final total
+// exactly — no sample may be lost or double-counted, no matter how the
+// sampling instants interleave with the increments.
+
+#include <atomic>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/alloc_tracker.h"
+#include "src/runtime/live_rack.h"
+#include "src/runtime/multiproc.h"
+#include "src/runtime/profiler.h"
+
+namespace cckvs {
+namespace {
+
+TEST(ProfilerTest, DeltasSumToTotalsUnderConcurrentIncrements) {
+  constexpr int kNodes = 3;
+  constexpr std::uint64_t kOpsPerNode = 200'000;
+  std::vector<WorkerCounters> counters(kNodes);
+
+  Profiler::Options opts;
+  opts.interval_ms = 1;  // sample as often as possible while writers run
+  Profiler profiler(opts, &counters);
+  profiler.Start();
+
+  std::vector<std::thread> writers;
+  for (int n = 0; n < kNodes; ++n) {
+    writers.emplace_back([&counters, n] {
+      for (std::uint64_t i = 1; i <= kOpsPerNode; ++i) {
+        counters[static_cast<std::size_t>(n)].ops.store(
+            i, std::memory_order_relaxed);
+        counters[static_cast<std::size_t>(n)].msgs_sent.store(
+            2 * i, std::memory_order_relaxed);
+        counters[static_cast<std::size_t>(n)].inbound_depth.store(
+            i % 7, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : writers) {
+    t.join();
+  }
+  profiler.Stop();
+
+  // Stop() takes a final sample after the writers finished, so the deltas
+  // must account for every increment.
+  std::vector<std::uint64_t> ops_sum(kNodes, 0);
+  std::vector<std::uint64_t> msgs_sum(kNodes, 0);
+  for (const ProfilerSample& s : profiler.samples()) {
+    ASSERT_GE(s.node, 0);
+    ASSERT_LT(s.node, kNodes);
+    ops_sum[static_cast<std::size_t>(s.node)] += s.ops;
+    msgs_sum[static_cast<std::size_t>(s.node)] += s.msgs_sent;
+    EXPECT_LT(s.inbound_depth, 7u) << "gauges are reported verbatim";
+  }
+  for (int n = 0; n < kNodes; ++n) {
+    EXPECT_EQ(ops_sum[static_cast<std::size_t>(n)], kOpsPerNode) << "node " << n;
+    EXPECT_EQ(msgs_sum[static_cast<std::size_t>(n)], 2 * kOpsPerNode)
+        << "node " << n;
+  }
+}
+
+TEST(ProfilerTest, StopWithoutStartIsANoOpAndStopIsIdempotent) {
+  std::vector<WorkerCounters> counters(1);
+  Profiler profiler(Profiler::Options{}, &counters);
+  profiler.Stop();  // never started: nothing to join, no samples
+  EXPECT_TRUE(profiler.samples().empty());
+
+  Profiler p2(Profiler::Options{}, &counters);
+  p2.Start();
+  p2.Stop();
+  const std::size_t n = p2.samples().size();
+  p2.Stop();  // second stop must not add samples or double-join
+  EXPECT_EQ(p2.samples().size(), n);
+  EXPECT_EQ(n, 1u) << "final sample: one row per node even on a short run";
+}
+
+TEST(ProfilerTest, CsvFileGetsHeaderAndOneRowPerSample) {
+  const std::string path =
+      ::testing::TempDir() + "/profiler_test_" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + ".csv";
+  std::vector<WorkerCounters> counters(2);
+  Profiler::Options opts;
+  opts.csv_path = path;
+  Profiler profiler(opts, &counters);
+  profiler.Start();
+  counters[0].ops.store(5, std::memory_order_relaxed);
+  counters[1].ops.store(9, std::memory_order_relaxed);
+  profiler.Stop();
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[512];
+  ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+  EXPECT_EQ(std::string(line), std::string(ProfilerCsvHeader()) + "\n");
+  std::size_t rows = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++rows;
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(rows, profiler.samples().size());
+  EXPECT_EQ(rows, 2u);  // final sample: one row per node
+}
+
+// The acceptance invariant of the zero-alloc messaging work: an SC rack with
+// the store prefilled performs no heap allocation inside any node's
+// steady-state window.  Skipped under sanitizers, where the counting
+// operator new is compiled out (TrackerAvailable() == false).
+TEST(ProfilerTest, SteadyStateScRunIsAllocationFree) {
+  if (!alloc::TrackerAvailable()) {
+    GTEST_SKIP() << "allocation tracker compiled out (sanitizer build)";
+  }
+  LiveRackParams p;
+  p.num_nodes = 3;
+  p.consistency = ConsistencyModel::kSc;
+  p.workload.keyspace = 20'000;
+  p.workload.zipf_alpha = 0.99;
+  p.workload.write_ratio = 0.05;
+  p.workload.value_bytes = 40;
+  p.cache_capacity = 200;
+  p.window_per_node = 16;
+  p.ops_per_node = 30'000;
+  p.coalescing = true;
+  p.seed = 7;
+  p.prefill_store = true;
+  p.track_allocs = true;
+  p.alloc_assert = true;  // a nonzero count aborts the test binary
+  p.profile = true;       // exercise counter publishing inside the window
+  p.profile_interval_ms = 10;
+
+  LiveRack rack(p);
+  const LiveReport r = rack.Run();
+  EXPECT_TRUE(r.ok()) << r.transport_error;
+  EXPECT_GE(r.completed, 3u * 30'000u);  // quota is a floor: drain finishes
+                                         // whatever was in flight at quota
+  EXPECT_EQ(r.hot_path_allocs, 0u);
+  EXPECT_FALSE(r.profiler_samples.empty());
+}
+
+TEST(ProfilerTest, RunLoopAndProfilingParamsRoundTripThroughBlob) {
+  // Ranked multi-process racks ship their params to child processes as a hex
+  // blob (runtime/multiproc.h); every knob this PR added must survive it.
+  LiveRackParams p;
+  p.num_nodes = 4;
+  p.pinning = true;
+  p.pin_core_base = 3;
+  p.pin_stride = 2;
+  p.busy_poll = true;
+  p.profile = true;
+  p.profile_interval_ms = 125;
+  p.profile_csv_path = "/tmp/prof.csv";
+  p.profile_to_stderr = true;
+  p.track_allocs = true;
+  p.alloc_assert = true;
+  p.prefill_store = true;
+
+  const std::string blob = EncodeRackParams(p);
+  LiveRackParams out;
+  std::string error;
+  ASSERT_TRUE(DecodeRackParams(blob, &out, &error)) << error;
+  EXPECT_TRUE(out.pinning);
+  EXPECT_EQ(out.pin_core_base, 3);
+  EXPECT_EQ(out.pin_stride, 2);
+  EXPECT_TRUE(out.busy_poll);
+  EXPECT_TRUE(out.profile);
+  EXPECT_EQ(out.profile_interval_ms, 125u);
+  EXPECT_EQ(out.profile_csv_path, "/tmp/prof.csv");
+  EXPECT_TRUE(out.profile_to_stderr);
+  EXPECT_TRUE(out.track_allocs);
+  EXPECT_TRUE(out.alloc_assert);
+  EXPECT_TRUE(out.prefill_store);
+
+  // The defaults must round-trip as defaults (v2 fields absent ≠ garbage).
+  LiveRackParams defaults;
+  LiveRackParams out2;
+  ASSERT_TRUE(DecodeRackParams(EncodeRackParams(defaults), &out2, &error))
+      << error;
+  EXPECT_FALSE(out2.pinning);
+  EXPECT_FALSE(out2.busy_poll);
+  EXPECT_FALSE(out2.profile);
+  EXPECT_FALSE(out2.track_allocs);
+  EXPECT_FALSE(out2.prefill_store);
+}
+
+TEST(ProfilerTest, BusyPollRackCompletesAndRecordsLatency) {
+  // Busy-poll replaces the parking wait with spin-then-yield; the run must
+  // still terminate (drain + quiesce) and produce per-op rdtsc latencies.
+  LiveRackParams p;
+  p.num_nodes = 2;
+  p.consistency = ConsistencyModel::kSc;
+  p.workload.keyspace = 5'000;
+  p.workload.write_ratio = 0.05;
+  p.workload.value_bytes = 40;
+  p.cache_capacity = 100;
+  p.window_per_node = 8;
+  p.ops_per_node = 5'000;
+  p.coalescing = true;
+  p.busy_poll = true;
+  p.pinning = true;  // modulo nproc: must be safe on any core count
+  p.seed = 11;
+  LiveRack rack(p);
+  const LiveReport r = rack.Run();
+  EXPECT_TRUE(r.ok()) << r.transport_error;
+  EXPECT_GE(r.completed, 2u * 5'000u);
+  EXPECT_GT(r.rack.p50_latency_us, 0.0);
+}
+
+}  // namespace
+}  // namespace cckvs

@@ -186,7 +186,7 @@ TEST(SocketFault, TrickledFrameDecodesAndCleanCloseIsNotAFault) {
   // A valid batch, dribbled one byte at a time: partial reads must reassemble.
   WireBatch batch;
   batch.src = 1;
-  batch.msgs.push_back(WireBody{UpdateMsg{42, "trickle", Timestamp{7, 1}}});
+  batch.Append(WireBody{UpdateMsg{42, "trickle", Timestamp{7, 1}}});
   Buffer payload;
   SerializeWireBatch(batch, &payload);
 
@@ -212,8 +212,8 @@ TEST(SocketFault, TrickledFrameDecodesAndCleanCloseIsNotAFault) {
   }
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].src, 1);
-  ASSERT_EQ(out[0].msgs.size(), 1u);
-  const auto& upd = std::get<UpdateMsg>(out[0].msgs[0]);
+  ASSERT_EQ(out[0].size(), 1u);
+  const auto& upd = std::get<UpdateMsg>(out[0][0]);
   EXPECT_EQ(upd.key, 42u);
   EXPECT_EQ(upd.value, "trickle");
 

@@ -76,14 +76,14 @@ TEST(SendCoalescerTest, SizeCapClosesBatchesAndCausesAreCounted) {
   EXPECT_TRUE(co.Append(1, WireBody{Upd(7, 3)}));  // hit the cap
   WireBatch b = co.Take(1, FlushCause::kSize);
   EXPECT_EQ(b.src, 0);
-  EXPECT_EQ(b.msgs.size(), 3u);
+  EXPECT_EQ(b.size(), 3u);
   EXPECT_TRUE(co.AllEmpty());
 
   co.Append(1, WireBody{Upd(8, 1)});
   EXPECT_EQ(co.open_messages(), 1u);
-  EXPECT_EQ(co.Take(1, FlushCause::kBoundary).msgs.size(), 1u);
+  EXPECT_EQ(co.Take(1, FlushCause::kBoundary).size(), 1u);
   // Taking an empty batch records nothing.
-  EXPECT_TRUE(co.Take(1, FlushCause::kIdle).msgs.empty());
+  EXPECT_TRUE(co.Take(1, FlushCause::kIdle).empty());
 
   EXPECT_EQ(co.batches_sent(), 2u);
   EXPECT_EQ(co.messages_sent(), 4u);
@@ -102,7 +102,7 @@ TEST(SendCoalescerTest, DisabledMeansEveryMessageClosesItsOwnBatch) {
   cc.max_batch = 16;  // ignored when disabled
   SendCoalescer co(cc);
   EXPECT_TRUE(co.Append(1, WireBody{Upd(1, 1)}));
-  EXPECT_EQ(co.Take(1, FlushCause::kSize).msgs.size(), 1u);
+  EXPECT_EQ(co.Take(1, FlushCause::kSize).size(), 1u);
 }
 
 // --------------------------------------------------------------------------
@@ -394,7 +394,7 @@ TEST(SendCoalescerTest, DeadlineExpiryIsMeasuredFromFirstAppend) {
   EXPECT_FALSE(co.DeadlineExpired(2));
   EXPECT_EQ(co.MinRemainingNs(), 0u);
   // Take resets the batch; a fresh append restamps.
-  EXPECT_EQ(co.Take(1, FlushCause::kDeadline).msgs.size(), 2u);
+  EXPECT_EQ(co.Take(1, FlushCause::kDeadline).size(), 2u);
   EXPECT_FALSE(co.Append(1, WireBody{Upd(1, 3)}));
   EXPECT_FALSE(co.DeadlineExpired(1));
 }
@@ -466,6 +466,54 @@ TEST(TransportBatchingTest, PreSleepFlushShipsExpiredBatchesUnderDeadline) {
     EXPECT_EQ(ep0.coalescer().flushes(FlushCause::kDeadline), 1u);
     DrainAll(t.endpoint(1));
   }
+}
+
+TEST(TransportBatchingTest, BusyPollHonorsFlushDeadlineWithoutSleeping) {
+  // The busy-poll run loop never reaches WaitForTraffic, so its idle branch
+  // calls PollExpiredDeadlines() instead — which must apply the same
+  // deadline policy as the pre-sleep path: ship exactly the batches whose
+  // hold expired, keep younger ones accumulating.
+  std::uint64_t now = 0;
+  LiveTransport::Config c = SmallConfig(3, /*coalescing=*/true, /*max_batch=*/8);
+  c.coalesce_flush_deadline_us = 10;  // 10'000 ns
+  c.clock_ns = [&now] { return now; };
+  LiveTransport t(c);
+  auto& ep0 = t.endpoint(0);
+
+  ep0.SendAck(1, AckMsg{4, Timestamp{1, 0}});
+  now += 8'000;
+  ep0.SendAck(2, AckMsg{5, Timestamp{1, 0}});  // peer 2's batch is younger
+
+  ep0.PollExpiredDeadlines();  // neither expired yet
+  EXPECT_EQ(t.endpoint(1).batches_received(), 0u);
+  EXPECT_EQ(t.endpoint(2).batches_received(), 0u);
+
+  now += 2'000;  // peer 1's batch is 10'000 ns old; peer 2's only 2'000
+  ep0.PollExpiredDeadlines();
+  EXPECT_EQ(t.endpoint(1).batches_received(), 1u);
+  EXPECT_EQ(t.endpoint(2).batches_received(), 0u) << "young batch must be held";
+  EXPECT_EQ(ep0.coalescer().flushes(FlushCause::kDeadline), 1u);
+
+  now += 8'000;
+  ep0.PollExpiredDeadlines();
+  EXPECT_EQ(t.endpoint(2).batches_received(), 1u);
+  EXPECT_EQ(ep0.coalescer().flushes(FlushCause::kDeadline), 2u);
+  DrainAll(t.endpoint(1));
+  DrainAll(t.endpoint(2));
+}
+
+TEST(TransportBatchingTest, BusyPollIdleFlushBackstopWithoutDeadline) {
+  // Without a deadline policy, PollExpiredDeadlines falls back to the idle
+  // backstop so no message can sit in an open batch while the node spins.
+  LiveTransport::Config c = SmallConfig(2, /*coalescing=*/true, /*max_batch=*/8);
+  LiveTransport t(c);
+  auto& ep0 = t.endpoint(0);
+  ep0.BroadcastUpdate(Upd(3, 1));
+  EXPECT_EQ(t.endpoint(1).batches_received(), 0u);
+  ep0.PollExpiredDeadlines();
+  EXPECT_EQ(t.endpoint(1).batches_received(), 1u);
+  EXPECT_EQ(ep0.coalescer().flushes(FlushCause::kIdle), 1u);
+  DrainAll(t.endpoint(1));
 }
 
 }  // namespace

@@ -135,7 +135,7 @@ TEST(WireCodec, BatchRoundTripRandomized) {
     batch.src = static_cast<NodeId>(rng() % 9);
     const std::size_t count = rng() % 17;
     for (std::size_t i = 0; i < count; ++i) {
-      batch.msgs.push_back(RandomBody(rng, static_cast<int>(rng() % kVariants)));
+      batch.Append(RandomBody(rng, static_cast<int>(rng() % kVariants)));
     }
 
     Buffer raw;
@@ -143,9 +143,9 @@ TEST(WireCodec, BatchRoundTripRandomized) {
     WireBatch decoded;
     ASSERT_TRUE(TryDeserializeWireBatch(raw, &decoded));
     ASSERT_EQ(decoded.src, batch.src);
-    ASSERT_EQ(decoded.msgs.size(), batch.msgs.size());
+    ASSERT_EQ(decoded.size(), batch.size());
     for (std::size_t i = 0; i < count; ++i) {
-      EXPECT_TRUE(SameBody(batch.msgs[i], decoded.msgs[i])) << "msg " << i;
+      EXPECT_TRUE(SameBody(batch[i], decoded[i])) << "msg " << i;
     }
   }
 }
@@ -174,7 +174,7 @@ TEST(WireCodec, TruncatedBatchRejectedAtEveryPrefixLength) {
   WireBatch batch;
   batch.src = 3;
   for (int v = 0; v < kVariants; ++v) {
-    batch.msgs.push_back(RandomBody(rng, v));
+    batch.Append(RandomBody(rng, v));
   }
   Buffer raw;
   SerializeWireBatch(batch, &raw);
@@ -186,8 +186,11 @@ TEST(WireCodec, TruncatedBatchRejectedAtEveryPrefixLength) {
 }
 
 TEST(WireCodec, TrailingGarbageRejected) {
+  WireBatch batch;
+  batch.src = 2;
+  batch.Append(WireBody{TermHaltMsg{7}});
   Buffer raw;
-  SerializeWireBatch(WireBatch{2, {WireBody{TermHaltMsg{7}}}}, &raw);
+  SerializeWireBatch(batch, &raw);
   WireBatch decoded;
   ASSERT_TRUE(TryDeserializeWireBatch(raw, &decoded));
   raw.push_back(0xee);
@@ -253,7 +256,7 @@ TEST(WireCodec, HeaderFieldsAreEndiannessStable) {
 TEST(WireCodec, BatchHeaderIsEndiannessStable) {
   WireBatch batch;
   batch.src = 7;
-  batch.msgs.push_back(WireBody{TermProbeMsg{0x01020304}});
+  batch.Append(WireBody{TermProbeMsg{0x01020304}});
   Buffer raw;
   SerializeWireBatch(batch, &raw);
 

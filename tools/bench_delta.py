@@ -19,6 +19,11 @@ annotations on stderr):
   * any entry whose `violations` field is nonzero — an invariant broke;
   * a `states` count that shrank vs. the baseline — the verified scope got
     accidentally narrower (fewer interleavings explored ≠ safer).
+
+The zero-alloc audit is deterministic too (an allocation either happens on the
+steady-state path or it doesn't): any entry whose `hot_path_allocs` is nonzero
+when the baseline's was zero (or absent) is a HARD warning — the hot path
+started allocating again (docs/PERFORMANCE.md, "Zero-allocation audit").
 """
 
 import json
@@ -111,6 +116,18 @@ def main():
                     f"{short} `{label}`: violations={cur_entry['violations']:g} "
                     "— a model-checked invariant FAILED"
                 )
+            allocs = cur_entry.get("hot_path_allocs", 0)
+            base_entry = (
+                base_doc["entries"].get(label) if base_doc is not None else None
+            )
+            base_allocs = (
+                base_entry.get("hot_path_allocs", 0) if base_entry else 0
+            )
+            if allocs > 0 and base_allocs == 0:
+                hard.append(
+                    f"{short} `{label}`: hot_path_allocs={allocs:g} "
+                    "— the steady-state hot path regressed from zero allocations"
+                )
         if base_doc is None:
             print(f"| {name} | _(new bench)_ |" + " — |" * len(FIELDS))
             continue
@@ -147,13 +164,13 @@ def main():
 
     print()
     if hard:
-        print("### 🛑 Hard warnings (deterministic model-checker results)")
+        print("### 🛑 Hard warnings (deterministic results)")
         print()
         for msg in hard:
             print(f"- 🛑 {msg}")
             # GitHub annotation; stderr so it lands in the job log, not the
             # step summary this script's stdout is redirected into.
-            print(f"::warning title=Model-checker regression::{msg}", file=sys.stderr)
+            print(f"::warning title=Deterministic regression::{msg}", file=sys.stderr)
         print()
     if warnings:
         print(
