@@ -247,6 +247,8 @@ inline std::vector<std::pair<std::string, double>> LiveReportFields(
   fields.emplace_back("store_read_retries",
                       static_cast<double>(r.store_read_retries));
   fields.emplace_back("hot_path_allocs", static_cast<double>(r.hot_path_allocs));
+  fields.emplace_back("spans_recorded", static_cast<double>(r.spans_recorded));
+  fields.emplace_back("spans_dropped", static_cast<double>(r.spans_dropped));
   return fields;
 }
 

@@ -31,6 +31,16 @@
 //                              rack and append its per-node counter CSV to
 //                              PATH (runtime/profiler.h; CI uploads this as
 //                              an artifact next to the JSON).
+//   --trace=PATH               run a traced/untraced SC pair after the sweep
+//                              (runtime/tracing.h): the traced rack writes a
+//                              Chrome trace-event JSON to PATH and the bench
+//                              prints the tracing overhead in Mops/s; the JSON
+//                              artifact gains a trace_overhead_pct field that
+//                              tools/bench_delta.py hard-warns on above 5%.
+//                              Also arms tracing inside the zero-alloc audit
+//                              (trace written to PATH.zeroalloc), proving the
+//                              span rings allocate nothing in steady state.
+//   --trace-sample=N           trace 1 op in N (default 64).
 //
 // The final section is the zero-allocation audit (docs/PERFORMANCE.md): an
 // SC rack with the whole store prefilled runs with the allocation tracker
@@ -75,6 +85,8 @@ int main(int argc, char** argv) {
   bool pin = false;
   bool busy_poll = false;
   std::string profile_csv;
+  std::string trace_path;
+  std::uint64_t trace_sample = 64;
   TransportKind transport = TransportKind::kInproc;
   const char* transport_name = "inproc";
   for (int i = 1; i < argc; ++i) {
@@ -97,6 +109,10 @@ int main(int argc, char** argv) {
       busy_poll = true;
     } else if (std::strncmp(argv[i], "--profile-csv=", 14) == 0) {
       profile_csv = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) {
+      trace_sample = std::strtoull(argv[i] + 15, nullptr, 10);
     }
   }
 
@@ -206,6 +222,45 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!trace_path.empty()) {
+    // Tracing overhead: the same SC coalescing rack back to back, untraced
+    // then traced.  Emit() is a sampled ring store, so the delta should sit
+    // well under bench_delta.py's 5% hard-warning threshold; the traced run's
+    // span file doubles as the inspectable artifact (tools/trace_report.py).
+    PrintHeaderRule();
+    LiveRackParams base = LiveCoalescingRack(ConsistencyModel::kSc, true, ops);
+    base.transport = SweepTransport(transport);
+    base.pinning = pin;
+    base.busy_poll = busy_poll;
+    LiveRackParams traced = base;
+    traced.transport = SweepTransport(transport);
+    traced.trace_path = trace_path;
+    traced.trace_sample = trace_sample;
+    const LiveReport lr_off = RunLive(base, "live ccKVS/SC trace-pair untraced");
+    const LiveReport lr_on = RunLive(traced, "live ccKVS/SC trace-pair traced");
+    const double overhead_pct =
+        lr_off.rack.mrps > 0.0
+            ? 100.0 * (lr_off.rack.mrps - lr_on.rack.mrps) / lr_off.rack.mrps
+            : 0.0;
+    std::printf("tracing overhead (SC, coalescing on, sample 1/%llu):\n",
+                static_cast<unsigned long long>(trace_sample));
+    std::printf("  untraced %.2f Mops/s, traced %.2f Mops/s, overhead %.1f%%\n",
+                lr_off.rack.mrps, lr_on.rack.mrps, overhead_pct);
+    std::printf("  spans recorded %llu (dropped %llu), trace: %s\n",
+                static_cast<unsigned long long>(lr_on.spans_recorded),
+                static_cast<unsigned long long>(lr_on.spans_dropped),
+                trace_path.c_str());
+    if (!lr_on.trace_error.empty()) {
+      std::fprintf(stderr, "trace export: %s\n", lr_on.trace_error.c_str());
+    }
+    RecordEntry("live ccKVS/SC tracing overhead",
+                {{"trace_overhead_pct", overhead_pct},
+                 {"mrps_untraced", lr_off.rack.mrps},
+                 {"mrps_traced", lr_on.rack.mrps},
+                 {"spans_recorded", static_cast<double>(lr_on.spans_recorded)},
+                 {"spans_dropped", static_cast<double>(lr_on.spans_dropped)}});
+  }
+
   {
     // Zero-allocation steady-state audit.  SC only: Lin's pending-write map
     // churns per write by design.  prefill_store materializes all 64K keys up
@@ -236,6 +291,12 @@ int main(int argc, char** argv) {
     lp.profile_interval_ms = Smoke() ? 20 : 250;
     if (!profile_csv.empty()) {
       lp.profile_csv_path = profile_csv + ".zeroalloc";
+    }
+    if (!trace_path.empty()) {
+      // Tracing inside the audited window: alloc_assert proves the span
+      // rings and sampler allocate nothing in the steady state.
+      lp.trace_path = trace_path + ".zeroalloc";
+      lp.trace_sample = trace_sample;
     }
     lp.pinning = pin;
     lp.busy_poll = busy_poll;

@@ -5,6 +5,7 @@
 //   $ ./multiproc_rack                         # 4 ranks over shm
 //   $ ./multiproc_rack --transport=socket      # 4 ranks over UDS
 //   $ ./multiproc_rack --nodes=8 --ops=50000 --consistency=sc --epochs --drift
+//   $ ./multiproc_rack --trace=/tmp/rack.json --trace-sample=8   # per-op traces
 //
 // Spawn-or-join: invoked with no --join flag this process becomes rank 0 —
 // it spawns ranks 1..N-1 (re-exec of this binary with the encoded params),
@@ -24,6 +25,7 @@
 
 #include "src/runtime/live_rack.h"
 #include "src/runtime/multiproc.h"
+#include "src/runtime/tracing.h"
 
 using namespace cckvs;
 
@@ -47,6 +49,11 @@ int RunRank(const LiveRackParams& params, const std::string& out_path) {
     std::fprintf(stderr, "rank %d: %s\n", params.transport.rank, error.c_str());
     return 2;
   }
+  if (!report.trace_error.empty()) {
+    // Diagnostic only: a failed trace export never fails the rank.
+    std::fprintf(stderr, "rank %d trace export: %s\n", params.transport.rank,
+                 report.trace_error.c_str());
+  }
   if (!report.ok()) {
     std::fprintf(stderr, "rank %d transport error: %s\n", params.transport.rank,
                  report.transport_error.c_str());
@@ -67,6 +74,8 @@ int main(int argc, char** argv) {
   std::string consistency = "lin";
   bool epochs = false;
   bool drift = false;
+  std::string trace_path;
+  std::uint64_t trace_sample = 64;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -92,6 +101,10 @@ int main(int argc, char** argv) {
       epochs = true;
     } else if (arg == "--drift") {
       drift = true;
+    } else if (const char* v = value("--trace=")) {
+      trace_path = v;
+    } else if (const char* v = value("--trace-sample=")) {
+      trace_sample = std::strtoull(v, nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;
@@ -128,6 +141,10 @@ int main(int argc, char** argv) {
     params.workload.drift_period_ops = 10'000;
     params.workload.drift_rank_shift = 16;
   }
+  // Tracing rides the params blob to every rank; each writes PATH.rank<N>
+  // and rank 0 merges them below.
+  params.trace_path = trace_path;
+  params.trace_sample = trace_sample;
   if (!ParseTransportKind(transport, &params.transport.kind) ||
       params.transport.kind == TransportKind::kInproc) {
     std::fprintf(stderr, "--transport must be shm or socket\n");
@@ -210,6 +227,24 @@ int main(int argc, char** argv) {
   std::printf("  completed %llu ops (%llu served over RPC), merged history: %zu ops\n",
               static_cast<unsigned long long>(completed),
               static_cast<unsigned long long>(rpcs), merged.size());
+
+  if (!trace_path.empty()) {
+    // Stitch the per-rank span files into one Chrome trace: ranks share the
+    // TSC and the clock epoch, so events line up; RPC spans from different
+    // ranks join by trace id.
+    std::vector<std::string> rank_traces;
+    rank_traces.reserve(static_cast<std::size_t>(nodes));
+    for (int rank = 0; rank < nodes; ++rank) {
+      rank_traces.push_back(trace_path + ".rank" + std::to_string(rank));
+    }
+    std::string error;
+    if (MergeChromeTraces(rank_traces, trace_path, &error)) {
+      std::printf("  trace: merged %d rank files into %s\n", nodes,
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "  trace merge failed: %s\n", error.c_str());
+    }
+  }
 
   if (!all_ok) {
     std::printf("  FAILED: at least one rank reported a transport error\n");

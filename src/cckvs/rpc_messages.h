@@ -22,6 +22,11 @@ struct RpcRequest {
   OpType op = OpType::kGet;
   Key key = 0;
   Value value;  // PUT only
+  // Distributed-tracing context (runtime/tracing.h): the sampled op's trace
+  // id and the requester-side op span, so the home's rpc_serve span stitches
+  // into the requester's timeline.  0 = op not sampled.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
 };
 
 struct RpcResponse {
@@ -34,6 +39,9 @@ struct RpcResponse {
   // usually admitted the key.  The home never parks an RPC — it cannot see
   // the requester's cache catch up, so parking can deadlock a halted rack.
   bool gated = false;
+  // Echo of RpcRequest::trace_id (0 = untraced); keeps the wire symmetric so
+  // either side of a trace can be reconstructed from a capture.
+  std::uint64_t trace_id = 0;
 };
 
 inline void SerializeBatch(const std::vector<RpcRequest>& reqs, Buffer* out) {

@@ -3,6 +3,8 @@
 #include <limits>
 
 #include "src/common/check.h"
+#include "src/common/cycles.h"
+#include "src/runtime/tracing.h"
 
 namespace cckvs {
 
@@ -10,7 +12,8 @@ SendCoalescer::SendCoalescer(const CoalescerConfig& config)
     : config_(config),
       effective_max_(config.enabled ? config.max_batch : 1),
       open_(static_cast<std::size_t>(config.num_peers)),
-      open_since_ns_(static_cast<std::size_t>(config.num_peers), 0) {
+      open_since_ns_(static_cast<std::size_t>(config.num_peers), 0),
+      open_cycles_(static_cast<std::size_t>(config.num_peers), 0) {
   CCKVS_CHECK_GE(config.num_peers, 1);
   CCKVS_CHECK_GE(effective_max_, 1);
   if (config_.flush_deadline_ns > 0) {
@@ -27,6 +30,9 @@ SendCoalescer::SendCoalescer(const CoalescerConfig& config)
 void SendCoalescer::StampOpen(NodeId to) {
   if (deadline_enabled()) {
     open_since_ns_[to] = config_.now_ns();
+  }
+  if (tracer_ != nullptr) {
+    open_cycles_[to] = CycleNow();
   }
 }
 
@@ -90,6 +96,13 @@ WireBatch SendCoalescer::Take(NodeId to, FlushCause cause) {
   messages_sent_ += taken.size();
   ++flushes_[static_cast<std::size_t>(cause)];
   batch_sizes_.Record(taken.size());
+  if (tracer_ != nullptr && tracer_->SampleAux()) {
+    // Batch residence: how long the first message sat in the open batch
+    // before the flush shipped it (the Fig 13c latency the deadline knob
+    // trades against).  arg0 = destination peer, arg1 = messages shipped.
+    tracer_->Emit(SpanKind::kBatchOpen, 0, tracer_->NewSpanId(), 0,
+                  open_cycles_[to], CycleNow(), to, taken.size());
+  }
   return taken;
 }
 

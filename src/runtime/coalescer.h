@@ -64,6 +64,8 @@
 
 namespace cckvs {
 
+class Tracer;  // runtime/tracing.h; batch-residence spans are optional
+
 // One message on the live fabric: the consistency protocol's three classes,
 // the hot-set subsystem's epoch traffic, the §6.1 RPC miss path (ranked
 // cross-process racks can't read a remote rank's shards through a seqlock, so
@@ -334,6 +336,10 @@ class SendCoalescer {
   // --- observability (LiveReport / bench plumbing) ---
   std::uint64_t batches_sent() const { return batches_sent_; }
   std::uint64_t messages_sent() const { return messages_sent_; }
+  // Arms batch-residence tracing (runtime/tracing.h): Take() then emits a
+  // decimated kBatchOpen span covering first-append -> flush.  Must be set
+  // before the owning node's thread starts; null disarms (the default).
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   std::uint64_t flushes(FlushCause cause) const {
     return flushes_[static_cast<std::size_t>(cause)];
   }
@@ -347,6 +353,8 @@ class SendCoalescer {
   int effective_max_;  // 1 when disabled: every message closes its own batch
   std::vector<WireBatch> open_;  // indexed by peer id
   std::vector<std::uint64_t> open_since_ns_;  // first-append stamp per peer
+  std::vector<std::uint64_t> open_cycles_;    // rdtsc first-append stamp (tracing)
+  Tracer* tracer_ = nullptr;
   std::uint64_t batches_sent_ = 0;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t flushes_[static_cast<std::size_t>(FlushCause::kNumCauses)] = {};

@@ -30,6 +30,10 @@ LiveNode::LiveNode(LiveRack* rack, NodeId id, WorkloadGenerator gen)
   quota_ = p.ops_per_node;
   ranked_ = rack->ranked();
   coordinator_ = ranked_ && id == 0;
+  tracer_ = rack->tracer(id);
+  if (tracer_ != nullptr) {
+    ep_->set_tracer(tracer_);  // batch-residence spans (coalescer.h)
+  }
   record_history_ = p.record_history;
   busy_poll_ = p.busy_poll;
   track_allocs_ = p.track_allocs;
@@ -108,30 +112,49 @@ SimTime LiveNode::NowTs() {
 
 void LiveNode::Run(StopToken stop) {
   const bool debug_state = std::getenv("CCKVS_DEBUG_STATE") != nullptr;
-  SimTime last_dump = 0;
+  // The same periodic node state feeds two sinks: the CCKVS_DEBUG_STATE
+  // stderr dump (env-gated, human-readable) and — whenever tracing is armed —
+  // a structured state_dump instant in the trace, so a stuck drain phase is
+  // diagnosable from the trace file alone (docs/OBSERVABILITY.md).
+  const bool dump_state = debug_state || tracer_ != nullptr;
+  std::uint64_t last_dump_cycles = 0;
   std::uint64_t idle_spins = 0;
   // Force the rdtsc→ns calibration (a one-time ~10ms busy-wait behind a
   // function-local static) before the first op is stamped and before the
   // allocation window can open.
   CyclesPerNs();
+  const std::uint64_t dump_interval_cycles =
+      static_cast<std::uint64_t>(2e9 * CyclesPerNs());
   while (true) {
-    if (debug_state) {
-      const SimTime now = rack_->clock_ns();
-      if (now - last_dump > 2'000'000'000ull) {
-        last_dump = now;
-        std::fprintf(stderr,
-                     "[node %d] halted=%d idle=%zu/%zu parked_sc=%zu gated=%zu "
-                     "rpc_out=%zu quiesc=%d pending=%d engineq=%d "
-                     "completed=%llu sent=%llu proc=%llu round=%u open=%d stat=%zu\n",
-                     int{id_}, halted_, idle_sessions_, sessions_.size(),
-                     parked_sc_writes_.size(), parked_gated_.size(),
-                     rpc_outstanding_,
-                     ranked_ ? LocallyQuiescent() : done_, !ep_->NothingPending(),
-                     engine_->Quiescent(),
-                     static_cast<unsigned long long>(counters_.completed),
-                     static_cast<unsigned long long>(ep_->data_sent()),
-                     static_cast<unsigned long long>(ep_->data_processed()),
-                     term_round_, round_open_, round_status_.size());
+    if (dump_state) {
+      const std::uint64_t now_cycles = CycleNow();
+      if (now_cycles - last_dump_cycles > dump_interval_cycles) {
+        last_dump_cycles = now_cycles;
+        if (tracer_ != nullptr) {
+          // arg0 = ops completed; arg1 packs the four queue depths a hang
+          // diagnosis needs (16 bits each: gated, parked SC, RPCs out, idle).
+          const std::uint64_t a1 =
+              (static_cast<std::uint64_t>(parked_gated_.size()) & 0xffff) |
+              ((static_cast<std::uint64_t>(parked_sc_writes_.size()) & 0xffff) << 16) |
+              ((static_cast<std::uint64_t>(rpc_outstanding_) & 0xffff) << 32) |
+              ((static_cast<std::uint64_t>(idle_sessions_) & 0xffff) << 48);
+          tracer_->Instant(SpanKind::kStateDump, 0, 0, counters_.completed, a1);
+        }
+        if (debug_state) {
+          std::fprintf(stderr,
+                       "[node %d] halted=%d idle=%zu/%zu parked_sc=%zu gated=%zu "
+                       "rpc_out=%zu quiesc=%d pending=%d engineq=%d "
+                       "completed=%llu sent=%llu proc=%llu round=%u open=%d stat=%zu\n",
+                       int{id_}, halted_, idle_sessions_, sessions_.size(),
+                       parked_sc_writes_.size(), parked_gated_.size(),
+                       rpc_outstanding_,
+                       ranked_ ? LocallyQuiescent() : done_, !ep_->NothingPending(),
+                       engine_->Quiescent(),
+                       static_cast<unsigned long long>(counters_.completed),
+                       static_cast<unsigned long long>(ep_->data_sent()),
+                       static_cast<unsigned long long>(ep_->data_processed()),
+                       term_round_, round_open_, round_status_.size());
+        }
       }
     }
     if (rack_->transport().fabric().faulted()) {
@@ -278,15 +301,22 @@ std::size_t LiveNode::PollInbound(std::size_t max) {
       engine_->OnAck(src, *ack);
     } else if (const auto* hot = std::get_if<HotSetAnnounceMsg>(&body)) {
       if (hot_mgr_ != nullptr) {
-        hot_mgr_->DriveAnnounce(*hot);
+        DriveAnnounceTraced(*hot);
       }
     } else if (const auto* fill = std::get_if<FillMsg>(&body)) {
       if (hot_mgr_ != nullptr) {
         hot_mgr_->ApplyFill(*fill);
+        if (tracer_ != nullptr) {
+          tracer_->Instant(SpanKind::kFillApplied, 0, 0, fill->key, fill->epoch);
+        }
       }
     } else if (const auto* installed = std::get_if<EpochInstalledMsg>(&body)) {
       if (hot_mgr_ != nullptr) {
         hot_mgr_->DrivePeerInstalled(src, installed->epoch);
+        if (tracer_ != nullptr) {
+          tracer_->Instant(SpanKind::kPeerInstalled, 0, 0, installed->epoch, src);
+          MaybeCloseBarrier();
+        }
       }
     } else if (const auto* req = std::get_if<RpcRequest>(&body)) {
       ServeRpc(src, *req);
@@ -336,14 +366,77 @@ void LiveNode::PublishFills(const std::vector<FillMsg>& fills) {
 
 void LiveNode::PublishInstalled(const EpochInstalledMsg& msg) {
   ep_->BroadcastEpochInstalled(msg);
+  if (tracer_ != nullptr) {
+    // The install that the announce opened is done on this node: close the
+    // epoch_install span, then start waiting on the rack-wide barrier.
+    if (install_start_cycles_ != 0 && msg.epoch >= install_epoch_) {
+      tracer_->Emit(SpanKind::kEpochInstall, 0, tracer_->NewSpanId(), 0,
+                    install_start_cycles_, CycleNow(), msg.epoch,
+                    hot_mgr_->deferred_evictions());
+      install_start_cycles_ = 0;
+    }
+    barrier_start_cycles_ = CycleNow();
+    barrier_epoch_ = msg.epoch;
+    MaybeCloseBarrier();  // peers may already have reported in
+  }
 }
 
-void LiveNode::LiftGate(Key key) { partition_->ClearCacheResident(key); }
+void LiveNode::LiftGate(Key key) {
+  partition_->ClearCacheResident(key);
+  if (tracer_ != nullptr) {
+    const auto it = gate_spans_.find(key);
+    if (it != gate_spans_.end()) {
+      tracer_->Emit(SpanKind::kGateClosed, 0, tracer_->NewSpanId(), 0,
+                    it->second.first, CycleNow(), key, it->second.second);
+      gate_spans_.erase(it);
+    }
+  }
+}
 
 void LiveNode::MaybeRetryDeferred() {
   if (hot_mgr_ != nullptr && hot_mgr_->HasDeferred()) {
     hot_mgr_->DriveDeferred();
+    SyncGateSpans();  // deferred evictions can raise fresh gates
   }
+}
+
+void LiveNode::DriveAnnounceTraced(const HotSetAnnounceMsg& msg) {
+  if (tracer_ != nullptr) {
+    tracer_->Instant(SpanKind::kAnnounce, 0, 0, msg.epoch, msg.keys.size());
+    if (install_start_cycles_ == 0 && msg.epoch > install_epoch_) {
+      install_start_cycles_ = CycleNow();
+      install_epoch_ = msg.epoch;
+    }
+  }
+  hot_mgr_->DriveAnnounce(msg);
+  SyncGateSpans();
+}
+
+void LiveNode::SyncGateSpans() {
+  if (tracer_ == nullptr || hot_mgr_ == nullptr) {
+    return;
+  }
+  // pending_clear() holds every key homed here whose eviction awaits the
+  // install barrier; a key not yet in gate_spans_ was gated just now.
+  const std::uint64_t now = CycleNow();
+  for (const auto& [key, epoch] : hot_mgr_->pending_clear()) {
+    gate_spans_.try_emplace(key, now, epoch);
+  }
+}
+
+void LiveNode::MaybeCloseBarrier() {
+  if (tracer_ == nullptr || hot_mgr_ == nullptr || barrier_start_cycles_ == 0) {
+    return;
+  }
+  const int n = rack_->params().num_nodes;
+  for (NodeId peer = 0; peer < static_cast<NodeId>(n); ++peer) {
+    if (hot_mgr_->peer_installed_epoch(peer) < barrier_epoch_) {
+      return;
+    }
+  }
+  tracer_->Emit(SpanKind::kBarrierWait, 0, tracer_->NewSpanId(), 0,
+                barrier_start_cycles_, CycleNow(), barrier_epoch_, 0);
+  barrier_start_cycles_ = 0;
 }
 
 bool LiveNode::RetryGatedOps() {
@@ -358,7 +451,17 @@ bool LiveNode::RetryGatedOps() {
     parked_gated_.pop_front();
     const std::size_t parked_before = parked_gated_.size();
     RouteOp(slot);  // may re-park at the back
-    progress |= parked_gated_.size() == parked_before;
+    const bool reparked = parked_gated_.size() != parked_before;
+    progress |= !reparked;
+    // Un-parked into a path that won't reach CompleteOp soon (a fresh RPC, an
+    // SC credit park): the gated wait is over now, so close its span here.
+    // When RouteOp completed the op, CompleteOp already closed and cleared it.
+    Session& sess = sessions_[slot];
+    if (!reparked && sess.park_cycles != 0) {
+      tracer_->Emit(SpanKind::kGatedWait, sess.trace_id, tracer_->NewSpanId(),
+                    sess.op_span, sess.park_cycles, CycleNow(), sess.op.key, 0);
+      sess.park_cycles = 0;
+    }
   }
   retrying_gated_ = false;
   return progress;
@@ -383,6 +486,12 @@ void LiveNode::IssueOp(std::uint32_t slot) {
   CCKVS_DCHECK(sess.idle);
   gen_.NextInto(&sess.op);  // reuses the slot's value capacity
   sess.invoke_cycles = CycleNow();
+  if (tracer_ != nullptr && tracer_->SampleNext()) {
+    // Deterministic 1-in-N op sampling: this op's whole lifecycle — including
+    // any RPC legs served by a remote rank — shares this trace id.
+    sess.trace_id = tracer_->NewTraceId();
+    sess.op_span = tracer_->NewSpanId();
+  }
   if (record_history_) {
     // The history clock is only consulted when a history is being recorded;
     // latency always comes from the per-op cycle stamps.
@@ -394,7 +503,7 @@ void LiveNode::IssueOp(std::uint32_t slot) {
       hot_mgr_->Sample(sess.op.key)) {
     const HotSetAnnounceMsg ann = hot_mgr_->announcement();
     ep_->BroadcastHotSet(ann);
-    hot_mgr_->DriveAnnounce(ann);
+    DriveAnnounceTraced(ann);
   }
   RouteOp(slot);
 }
@@ -418,6 +527,9 @@ void LiveNode::RouteOp(std::uint32_t slot) {
       // SC writes complete as soon as the update broadcast is posted, so
       // posting is the throttle point (§6.3): no credits, the op waits.
       ++counters_.sc_credit_stalls;
+      if (sess.trace_id != 0 && sess.credit_park_cycles == 0) {
+        sess.credit_park_cycles = CycleNow();
+      }
       parked_sc_writes_.push_back(slot);
       return;
     }
@@ -443,6 +555,7 @@ void LiveNode::RouteMissOp(std::uint32_t slot) {
     return;
   }
   Partition& home = rack_->PartitionOf(key);
+  const std::uint64_t shard_start = sess.trace_id != 0 ? CycleNow() : 0;
   if (sess.op.type == OpType::kGet) {
     Timestamp ts;
     bool resident = false;
@@ -452,8 +565,15 @@ void LiveNode::RouteMissOp(std::uint32_t slot) {
       if (!retrying_gated_) {
         ++counters_.gate_retries;
       }
+      if (sess.trace_id != 0 && sess.park_cycles == 0) {
+        sess.park_cycles = shard_start;
+      }
       parked_gated_.push_back(slot);
       return;
+    }
+    if (shard_start != 0) {
+      tracer_->Emit(SpanKind::kShardRead, sess.trace_id, tracer_->NewSpanId(),
+                    sess.op_span, shard_start, CycleNow(), key, 0);
     }
     CompleteOp(slot, read_scratch_, ts, false);
   } else {
@@ -462,15 +582,30 @@ void LiveNode::RouteMissOp(std::uint32_t slot) {
       if (!retrying_gated_) {
         ++counters_.gate_retries;
       }
+      if (sess.trace_id != 0 && sess.park_cycles == 0) {
+        sess.park_cycles = shard_start;
+      }
       parked_gated_.push_back(slot);
       return;
+    }
+    if (shard_start != 0) {
+      tracer_->Emit(SpanKind::kShardWrite, sess.trace_id, tracer_->NewSpanId(),
+                    sess.op_span, shard_start, CycleNow(), key, 0);
     }
     CompleteOp(slot, sess.op.value, ts, false);
   }
 }
 
 void LiveNode::StartCacheWrite(std::uint32_t slot) {
-  const Key key = sessions_[slot].op.key;
+  Session& sess = sessions_[slot];
+  if (sess.credit_park_cycles != 0) {
+    // The SC write sat parked on broadcast credits; the park is over.
+    tracer_->Emit(SpanKind::kCreditWait, sess.trace_id, tracer_->NewSpanId(),
+                  sess.op_span, sess.credit_park_cycles, CycleNow(),
+                  sess.op.key, 0);
+    sess.credit_park_cycles = 0;
+  }
+  const Key key = sess.op.key;
   if (cache_->Find(key) == nullptr) {
     // The key churned out of the hot set while this write sat parked on
     // credits; take the miss path instead.
@@ -510,6 +645,14 @@ void LiveNode::SendRpc(std::uint32_t slot) {
   if (sess.op.type == OpType::kPut) {
     req.value = sess.op.value;
   }
+  if (sess.trace_id != 0) {
+    // Trace context piggybacks on the wire (wire_codec.h, append-only ABI);
+    // the home rank's rpc_serve span stitches to ours through these ids.
+    req.trace_id = sess.trace_id;
+    req.parent_span = sess.op_span;
+    sess.rpc_span = tracer_->NewSpanId();
+    sess.rpc_cycles = CycleNow();
+  }
   ep_->SendDirect(rack_->HomeOf(sess.op.key), WireBody{std::move(req)});
   rpc_waiting_[slot] = 1;
   ++rpc_outstanding_;
@@ -524,8 +667,11 @@ void LiveNode::ServeRpc(NodeId src, const RpcRequest& req) {
   // key resident forever.  The reply completes (or re-routes) the requester's
   // session; PUT responses echo the commit timestamp.
   CCKVS_DCHECK(rack_->HomeOf(req.key) == id_);
+  const std::uint64_t serve_start =
+      (tracer_ != nullptr && req.trace_id != 0) ? CycleNow() : 0;
   RpcResponse resp;
   resp.op_id = req.op_id;
+  resp.trace_id = req.trace_id;  // echo: response joins the requester's trace
   if (req.op == OpType::kGet) {
     Value value;
     Timestamp ts;
@@ -546,6 +692,14 @@ void LiveNode::ServeRpc(NodeId src, const RpcRequest& req) {
       resp.ts = ts;
     }
   }
+  if (serve_start != 0) {
+    // Home-side engine span: parented on the requester's op span (over the
+    // wire), so the merged Chrome trace shows both halves of the miss joined
+    // by trace id.  arg1 flags a residency-gate bounce.
+    tracer_->Emit(SpanKind::kRpcServe, req.trace_id, tracer_->NewSpanId(),
+                  req.parent_span, serve_start, CycleNow(), req.key,
+                  resp.gated ? 1 : 0);
+  }
   ep_->SendDirect(src, WireBody{std::move(resp)});
 }
 
@@ -555,6 +709,15 @@ void LiveNode::OnRpcResponse(const RpcResponse& resp) {
   CCKVS_CHECK(rpc_waiting_[slot]);
   rpc_waiting_[slot] = 0;
   --rpc_outstanding_;
+  Session& sess = sessions_[slot];
+  if (sess.rpc_span != 0) {
+    // Requester-side RPC leg: send stamp -> response landing.
+    tracer_->Emit(SpanKind::kRpc, sess.trace_id, sess.rpc_span, sess.op_span,
+                  sess.rpc_cycles, CycleNow(), sess.op.key,
+                  resp.gated ? 1 : 0);
+    sess.rpc_span = 0;
+    sess.rpc_cycles = 0;
+  }
   if (resp.gated) {
     // Home shard is behind the residency gate.  Park locally and re-route at
     // the next pump — RouteOp probes the cache first, so once the announce
@@ -562,10 +725,12 @@ void LiveNode::OnRpcResponse(const RpcResponse& resp) {
     // by the run loop's idle sleep.  Same retry loop the single-process miss
     // path uses, stretched across the wire.
     ++counters_.gate_retries;
+    if (sess.trace_id != 0 && sess.park_cycles == 0) {
+      sess.park_cycles = CycleNow();
+    }
     parked_gated_.push_back(slot);
     return;
   }
-  Session& sess = sessions_[slot];
   CompleteOp(slot,
              sess.op.type == OpType::kGet ? resp.value : sess.op.value,
              resp.ts, /*via_cache=*/false);
@@ -657,7 +822,25 @@ void LiveNode::CompleteOp(std::uint32_t slot, const Value& read_value, Timestamp
   // Per-op latency from raw cycle stamps (rdtsc where available): immune to
   // the history clock's tie-breaking bumps and cheap enough to keep on in
   // busy-poll runs — the Fig 13c-comparable numbers come from this histogram.
-  latency_.Record(CyclesToNs(CycleNow() - sess.invoke_cycles));
+  const std::uint64_t done_cycles = CycleNow();
+  latency_.Record(CyclesToNs(done_cycles - sess.invoke_cycles));
+  if (sess.trace_id != 0) {
+    if (sess.park_cycles != 0) {
+      tracer_->Emit(SpanKind::kGatedWait, sess.trace_id, tracer_->NewSpanId(),
+                    sess.op_span, sess.park_cycles, done_cycles, sess.op.key, 0);
+    }
+    // The root span: issue -> completion.  arg1 packs op type and route.
+    tracer_->Emit(SpanKind::kOp, sess.trace_id, sess.op_span, 0,
+                  sess.invoke_cycles, done_cycles, sess.op.key,
+                  (sess.op.type == OpType::kPut ? 1u : 0u) |
+                      (via_cache ? 2u : 0u));
+    sess.trace_id = 0;
+    sess.op_span = 0;
+    sess.rpc_span = 0;
+    sess.rpc_cycles = 0;
+    sess.park_cycles = 0;
+    sess.credit_park_cycles = 0;
+  }
 
   if (record_history_) {
     HistoryOp h;

@@ -20,6 +20,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/cache/symmetric_cache.h"
@@ -29,6 +31,7 @@
 #include "src/runtime/control_messages.h"
 #include "src/runtime/profiler.h"
 #include "src/runtime/stop.h"
+#include "src/runtime/tracing.h"
 #include "src/runtime/transport.h"
 #include "src/store/partition.h"
 #include "src/topk/hot_set_manager.h"
@@ -84,6 +87,13 @@ class LiveNode final : private HotSetHost {
     std::uint64_t invoke_cycles = 0;  // rdtsc stamp; feeds the latency histogram
     SessionId id = 0;
     bool idle = true;
+    // --- tracing context (runtime/tracing.h; all 0 when the op is unsampled) ---
+    std::uint64_t trace_id = 0;
+    std::uint64_t op_span = 0;            // root span; completes in CompleteOp
+    std::uint64_t rpc_span = 0;           // open requester-side RPC leg
+    std::uint64_t rpc_cycles = 0;         // its send stamp
+    std::uint64_t park_cycles = 0;        // first gated-park stamp (gated_wait)
+    std::uint64_t credit_park_cycles = 0; // SC credit-park stamp (credit_wait)
   };
 
   // Fixed-capacity FIFO of parked session slots.  A session is parked at most
@@ -153,10 +163,21 @@ class LiveNode final : private HotSetHost {
   void LiftGate(Key key) override;
   void MaybeRetryDeferred();
 
+  // --- transition timeline (runtime/tracing.h; no-ops when untraced) ---
+  // DriveAnnounce with the timeline around it: an announce instant, the
+  // epoch_install span open, and a gate-span sync after the manager ran.
+  void DriveAnnounceTraced(const HotSetAnnounceMsg& msg);
+  // Opens a gate_closed span for every newly gated key (pending_clear_ grew
+  // during DriveAnnounce/DriveDeferred); LiftGate closes them.
+  void SyncGateSpans();
+  // Emits the barrier_wait span once every peer's install has been seen.
+  void MaybeCloseBarrier();
+
   LiveRack* rack_;
   NodeId id_;
   LiveTransport::Endpoint* ep_;
   WorkerCounters* pub_ = nullptr;  // this node's block in the rack's vector
+  Tracer* tracer_ = nullptr;       // rack-owned; null when tracing is off
 
   std::unique_ptr<Partition> partition_;
   std::unique_ptr<SymmetricCache> cache_;
@@ -204,6 +225,15 @@ class LiveNode final : private HotSetHost {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> prev_counts_;
   bool prev_valid_ = false;
   SimTime last_probe_ns_ = 0;
+
+  // --- transition-timeline state (traced online_topk runs only; these maps
+  // may allocate, which is fine: the zero-alloc audit runs epochs off) ---
+  std::uint64_t install_start_cycles_ = 0;  // open epoch_install span
+  std::uint64_t install_epoch_ = 0;
+  std::uint64_t barrier_start_cycles_ = 0;  // open barrier_wait span
+  std::uint64_t barrier_epoch_ = 0;
+  std::unordered_map<Key, std::pair<std::uint64_t, std::uint64_t>>
+      gate_spans_;  // gated key -> {raise stamp, epoch}
 
   Counters counters_;
   Histogram latency_;

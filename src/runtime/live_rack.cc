@@ -7,6 +7,8 @@
 #include "src/cckvs/report_util.h"
 #include "src/common/check.h"
 #include "src/common/cpu.h"
+#include "src/common/cycles.h"
+#include "src/runtime/tracing.h"
 
 namespace cckvs {
 namespace {
@@ -87,6 +89,22 @@ LiveRack::LiveRack(const LiveRackParams& params)
 
   std::vector<WorkloadGenerator> gens =
       MakePerThreadGenerators(params_.workload, params_.num_nodes, params_.seed);
+  if (!params_.trace_path.empty()) {
+    // One ring per local node, allocated up front (the ring never grows, so
+    // recording stays allocation-free in the steady state).  Must exist
+    // before the nodes: each LiveNode grabs its tracer in its constructor.
+    tracers_.resize(static_cast<std::size_t>(params_.num_nodes));
+    for (int i = 0; i < params_.num_nodes; ++i) {
+      if (!IsLocal(static_cast<NodeId>(i))) {
+        continue;
+      }
+      Tracer::Config tc;
+      tc.node = static_cast<NodeId>(i);
+      tc.sample_every = params_.trace_sample;
+      tc.ring_capacity = params_.trace_ring_capacity;
+      tracers_[static_cast<std::size_t>(i)] = std::make_unique<Tracer>(tc);
+    }
+  }
   nodes_.resize(static_cast<std::size_t>(params_.num_nodes));
   for (int i = 0; i < params_.num_nodes; ++i) {
     if (!IsLocal(static_cast<NodeId>(i))) {
@@ -261,6 +279,34 @@ LiveReport LiveRack::Run() {
 
   if (params_.profile) {
     report.profiler_samples = profiler.samples();
+  }
+
+  if (!params_.trace_path.empty() && !tracers_.empty()) {
+    std::vector<const Tracer*> tracers;
+    for (const auto& t : tracers_) {
+      if (t != nullptr) {
+        report.spans_recorded += t->ring().recorded();
+        report.spans_dropped += t->ring().dropped();
+        tracers.push_back(t.get());
+      }
+    }
+    std::string path = params_.trace_path;
+    TraceExportOptions topts;
+    if (ranked()) {
+      // One file per process (the profiler CSV pattern); rank 0 of the
+      // launcher merges them by line into one Chrome trace.
+      path += ".rank" + std::to_string(params_.transport.rank);
+      topts.pid = params_.transport.rank;
+      topts.process_name = "rank " + std::to_string(params_.transport.rank);
+    }
+    // Anchor rdtsc stamps to the shared history clock: ranks agree on
+    // clock_epoch_ns and the TSC is machine-wide, so per-rank files align.
+    topts.now_cycles = CycleNow();
+    topts.now_ns = clock_ns();
+    std::string trace_error;
+    if (!WriteChromeTrace(path, tracers, topts, &trace_error)) {
+      report.trace_error = trace_error;  // diagnostic only; the run succeeded
+    }
   }
 
   report.transport_error = transport_.fabric().error();

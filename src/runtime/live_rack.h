@@ -114,6 +114,15 @@ struct LiveRackParams {
   std::string profile_csv_path;   // non-empty: stream samples as CSV
   bool profile_to_stderr = false; // mirror samples to stderr
 
+  // --- distributed per-op tracing (runtime/tracing.h) ---
+  // Non-empty: arm a per-node Tracer (sampled spans into a fixed ring, no
+  // steady-state allocation) and write a Chrome trace-event JSON here at rack
+  // stop.  Ranked racks write trace_path + ".rank<N>" per process; merge with
+  // MergeChromeTraces or tools/trace_report.py --merge.
+  std::string trace_path;
+  std::uint64_t trace_sample = 64;          // 1-in-N deterministic op sampler
+  std::size_t trace_ring_capacity = 1 << 16;  // span records per node
+
   // Count operator-new calls on each node thread between warmup (quota/4
   // completed) and halt; the count lands in LiveReport::hot_path_allocs.
   // With alloc_assert the run CHECK-fails unless that count is zero — the
@@ -192,11 +201,19 @@ class LiveRack {
     return worker_counters_[static_cast<std::size_t>(id)];
   }
 
+  // Node `id`'s span ring, or nullptr when tracing is off (or the node is
+  // remote).  Only the owning node thread records into it.
+  Tracer* tracer(NodeId id) {
+    return tracers_.empty() ? nullptr
+                            : tracers_[static_cast<std::size_t>(id)].get();
+  }
+
  private:
   LiveRackParams params_;
   LiveTransport transport_;
   ModuloPartitioner partitioner_;
   std::vector<WorkerCounters> worker_counters_;  // atomics: sized once, never moved
+  std::vector<std::unique_ptr<Tracer>> tracers_;  // empty when tracing is off
   std::vector<std::unique_ptr<LiveNode>> nodes_;
   StopSource stop_;
   std::atomic<int> nodes_done_{0};

@@ -16,7 +16,7 @@ namespace {
 
 // Bump when the blob layout changes; decode rejects mismatches outright
 // (mixed-version racks would disagree on protocol parameters anyway).
-constexpr std::uint8_t kParamsVersion = 2;  // v2: pinning/busy-poll/profiling
+constexpr std::uint8_t kParamsVersion = 3;  // v3: distributed tracing
 constexpr std::uint64_t kArtifactsMagic = 0x63634b565241'01ull;  // "ccKVRA" v1
 
 std::uint64_t DoubleBits(double d) {
@@ -140,6 +140,9 @@ std::string EncodeRackParams(const LiveRackParams& p) {
   w.PutU8(p.track_allocs ? 1 : 0);
   w.PutU8(p.alloc_assert ? 1 : 0);
   w.PutU8(p.prefill_store ? 1 : 0);
+  w.PutString(p.trace_path);
+  w.PutU64(p.trace_sample);
+  w.PutU64(p.trace_ring_capacity);
   return ToHex(raw);
 }
 
@@ -203,7 +206,9 @@ bool DecodeRackParams(const std::string& hex, LiveRackParams* out, std::string* 
       r.GetU8(&u8) && ((p.profile_to_stderr = u8 != 0), true) &&
       r.GetU8(&u8) && ((p.track_allocs = u8 != 0), true) &&
       r.GetU8(&u8) && ((p.alloc_assert = u8 != 0), true) &&
-      r.GetU8(&u8) && ((p.prefill_store = u8 != 0), true) && r.AtEnd();
+      r.GetU8(&u8) && ((p.prefill_store = u8 != 0), true) &&
+      r.GetString(&p.trace_path) && r.GetU64(&p.trace_sample) &&
+      r.GetU64(&u64) && ((p.trace_ring_capacity = u64), true) && r.AtEnd();
   if (!ok) {
     *error = "rack params blob truncated or malformed";
     return false;

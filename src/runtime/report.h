@@ -71,6 +71,13 @@ struct LiveReport {
   // Per-interval per-node time series (params.profile; runtime/profiler.h).
   std::vector<ProfilerSample> profiler_samples;
 
+  // Distributed tracing (params.trace_path; runtime/tracing.h): span records
+  // captured / overwritten by ring wraparound across this process's nodes,
+  // and the export failure (if any) — a trace failure never fails the run.
+  std::uint64_t spans_recorded = 0;
+  std::uint64_t spans_dropped = 0;
+  std::string trace_error;
+
   bool ok() const { return transport_error.empty(); }
 };
 

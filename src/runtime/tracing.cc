@@ -1,0 +1,172 @@
+#include "src/runtime/tracing.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cckvs {
+namespace {
+
+// Cycle stamp -> microseconds on the rack clock (Chrome's ts unit), with
+// nanosecond precision kept in the fraction.  Stamps from before the export
+// anchor are the normal case; a stamp "after" it (impossible, but clamp
+// anyway) maps to the anchor itself.
+double StampToUs(std::uint64_t stamp_cycles, const TraceExportOptions& o) {
+  const std::uint64_t behind =
+      o.now_cycles > stamp_cycles ? o.now_cycles - stamp_cycles : 0;
+  const double ns_behind = static_cast<double>(behind) / CyclesPerNs();
+  const double ns = static_cast<double>(o.now_ns) - ns_behind;
+  return (ns > 0 ? ns : 0) / 1000.0;
+}
+
+void AppendEvent(std::vector<std::string>* events, const SpanRecord& rec,
+                 const TraceExportOptions& o) {
+  const double ts = StampToUs(rec.start_cycles, o);
+  const double dur = StampToUs(rec.end_cycles, o) - ts;
+  const bool instant = rec.start_cycles == rec.end_cycles;
+  char buf[512];
+  if (instant) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,"
+                  "\"tid\":%d,\"ts\":%.3f,\"args\":{\"trace\":\"0x%" PRIx64
+                  "\",\"span\":\"0x%" PRIx64 "\",\"parent\":\"0x%" PRIx64
+                  "\",\"a0\":%" PRIu64 ",\"a1\":%" PRIu64 "}}",
+                  ToString(rec.kind), o.pid, int{rec.node}, ts, rec.trace_id,
+                  rec.span_id, rec.parent_span, rec.arg0, rec.arg1);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,"
+                  "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"trace\":\"0x%" PRIx64
+                  "\",\"span\":\"0x%" PRIx64 "\",\"parent\":\"0x%" PRIx64
+                  "\",\"a0\":%" PRIu64 ",\"a1\":%" PRIu64 "}}",
+                  ToString(rec.kind), o.pid, int{rec.node}, ts,
+                  dur > 0 ? dur : 0.0, rec.trace_id, rec.span_id,
+                  rec.parent_span, rec.arg0, rec.arg1);
+  }
+  events->emplace_back(buf);
+  // Flow events stitch the requester's rpc span to the home's rpc_serve span
+  // across processes: same id ("0x<trace_id>") on both halves.
+  if (rec.trace_id != 0 &&
+      (rec.kind == SpanKind::kRpc || rec.kind == SpanKind::kRpcServe)) {
+    const bool start = rec.kind == SpanKind::kRpc;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"rpc_flow\",\"cat\":\"rpc\",\"ph\":\"%s\"%s,"
+                  "\"id\":\"0x%" PRIx64 "\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f}",
+                  start ? "s" : "f", start ? "" : ",\"bp\":\"e\"", rec.trace_id,
+                  o.pid, int{rec.node}, ts + (start ? 0.001 : 0.0));
+    events->emplace_back(buf);
+  }
+}
+
+}  // namespace
+
+bool WriteChromeTrace(const std::string& path,
+                      const std::vector<const Tracer*>& tracers,
+                      const TraceExportOptions& options, std::string* error) {
+  std::vector<std::string> events;
+  std::size_t total = 0;
+  for (const Tracer* t : tracers) {
+    if (t != nullptr) {
+      total += t->ring().size();
+    }
+  }
+  events.reserve(total + tracers.size() + 1);
+
+  {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                  "\"args\":{\"name\":\"%s\"}}",
+                  options.pid,
+                  options.process_name.empty() ? "cckvs"
+                                               : options.process_name.c_str());
+    events.emplace_back(buf);
+  }
+  for (const Tracer* t : tracers) {
+    if (t == nullptr) {
+      continue;
+    }
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
+                  "\"tid\":%d,\"args\":{\"name\":\"node %d\"}}",
+                  options.pid, int{t->node()}, int{t->node()});
+    events.emplace_back(buf);
+    const SpanRing& ring = t->ring();
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      AppendEvent(&events, ring[i], options);
+    }
+  }
+
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) {
+    if (error != nullptr) {
+      *error = "cannot open " + path + " for writing";
+    }
+    return false;
+  }
+  f << "{\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    f << events[i] << (i + 1 < events.size() ? ",\n" : "\n");
+  }
+  f << "]}\n";
+  f.flush();
+  if (!f) {
+    if (error != nullptr) {
+      *error = "short write to " + path;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool MergeChromeTraces(const std::vector<std::string>& inputs,
+                       const std::string& out_path, std::string* error) {
+  // WriteChromeTrace's layout is one event per line between a header and a
+  // footer line, so the merge is line surgery, not JSON parsing: collect
+  // every event line, strip trailing commas, re-emit with fresh commas.
+  std::vector<std::string> events;
+  for (const std::string& in : inputs) {
+    std::ifstream f(in);
+    if (!f) {
+      if (error != nullptr) {
+        *error = "cannot open " + in;
+      }
+      return false;
+    }
+    std::string line;
+    while (std::getline(f, line)) {
+      if (line.empty() || line[0] != '{' ||
+          line.rfind("{\"traceEvents\"", 0) == 0) {
+        continue;  // header, footer or blank
+      }
+      if (!line.empty() && line.back() == ',') {
+        line.pop_back();
+      }
+      events.push_back(line);
+    }
+  }
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) {
+      *error = "cannot open " + out_path + " for writing";
+    }
+    return false;
+  }
+  out << "{\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    out << events[i] << (i + 1 < events.size() ? ",\n" : "\n");
+  }
+  out << "]}\n";
+  out.flush();
+  if (!out) {
+    if (error != nullptr) {
+      *error = "short write to " + out_path;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cckvs

@@ -1,0 +1,242 @@
+// Sampled, steady-state-allocation-free per-op tracing for the live rack.
+//
+// The profiler (runtime/profiler.h) answers "how fast is each node right
+// now"; it cannot answer "where did this p99 op spend its time" or "how long
+// was the shard gate closed during epoch N".  This subsystem does: each node
+// thread records spans — op lifecycle, §6.1 RPC legs, gated/credit parks,
+// batch residence, and every stage of an epoch transition — into a private
+// fixed-capacity ring of POD records stamped with the rdtsc clock
+// (common/cycles.h).  At rack stop the rings export to Chrome trace-event
+// JSON (chrome://tracing, Perfetto) via LiveRackParams::trace_path.
+//
+// Design constraints, in order:
+//
+//  * Zero allocation on the hot path.  Emit() is a bounds-free array store
+//    into a ring sized at construction; the sampler and id generators are
+//    counter arithmetic.  A traced run passes the same alloc_assert audit an
+//    untraced run does (tests/tracing_test.cc pins this).
+//  * Deterministic sampling.  Ops are sampled 1-in-N by a per-node counter
+//    (op 0 always sampled), so two runs with the same seed trace the same
+//    ops — and tests can assert on what gets traced.
+//  * Cross-process stitching.  Trace ids embed the node id in the high bits,
+//    so ids are rack-unique without coordination; the id + parent span ride
+//    RpcRequest/RpcResponse through wire_codec.h, and per-rank trace files
+//    merge by simple event concatenation (ranks share the machine-wide TSC
+//    and the rack's clock epoch, so timestamps are directly comparable).
+//
+// Overflow policy: the ring keeps the NEWEST spans (head wraps); dropped()
+// counts what fell off.  For latency forensics the tail of the run is the
+// interesting part, and a bounded ring is what keeps Emit allocation-free.
+
+#ifndef CCKVS_RUNTIME_TRACING_H_
+#define CCKVS_RUNTIME_TRACING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/cycles.h"
+#include "src/common/types.h"
+
+namespace cckvs {
+
+// One name per span kind; the Chrome event name and the trace_report.py
+// aggregation key.  Append only — tests pin the names.
+enum class SpanKind : std::uint8_t {
+  kOp = 0,         // whole client op: issue -> done (arg0=key, arg1=type bits)
+  kShardRead,      // direct seqlock read of a home shard (miss path)
+  kShardWrite,     // direct locked write to a home shard (miss path)
+  kRpc,            // requester-side §6.1 RPC leg: send -> response (arg1=gated)
+  kRpcServe,       // home-side RPC service (stitched to kRpc by trace id)
+  kGatedWait,      // op parked on the shard residency gate
+  kCreditWait,     // SC write parked at the §6.3 credit throttle
+  kBatchOpen,      // coalescer batch: first append -> flush (arg0=peer, arg1=size)
+  kEpochInstall,   // announce received -> this node's install published (arg0=epoch)
+  kGateClosed,     // an evicted key's gate: raised -> lifted (arg0=key, arg1=epoch)
+  kBarrierWait,    // install published -> every peer's install seen (arg0=epoch)
+  kAnnounce,       // instant: hot-set announcement driven (arg0=epoch, arg1=|keys|)
+  kPeerInstalled,  // instant: peer's install confirmation arrived (arg0=epoch, arg1=src)
+  kFillApplied,    // instant: fill landed in the local cache (arg0=key, arg1=epoch)
+  kStateDump,      // instant: periodic node state (CCKVS_DEBUG_STATE, structured)
+  kNumKinds,
+};
+
+inline const char* ToString(SpanKind k) {
+  switch (k) {
+    case SpanKind::kOp:
+      return "op";
+    case SpanKind::kShardRead:
+      return "shard_read";
+    case SpanKind::kShardWrite:
+      return "shard_write";
+    case SpanKind::kRpc:
+      return "rpc";
+    case SpanKind::kRpcServe:
+      return "rpc_serve";
+    case SpanKind::kGatedWait:
+      return "gated_wait";
+    case SpanKind::kCreditWait:
+      return "credit_wait";
+    case SpanKind::kBatchOpen:
+      return "batch_open";
+    case SpanKind::kEpochInstall:
+      return "epoch_install";
+    case SpanKind::kGateClosed:
+      return "gate_closed";
+    case SpanKind::kBarrierWait:
+      return "barrier_wait";
+    case SpanKind::kAnnounce:
+      return "announce";
+    case SpanKind::kPeerInstalled:
+      return "peer_installed";
+    case SpanKind::kFillApplied:
+      return "fill_applied";
+    case SpanKind::kStateDump:
+      return "state_dump";
+    case SpanKind::kNumKinds:
+      break;
+  }
+  return "?";
+}
+
+// POD span record: 58 bytes of plain integers, stamped in raw cycles and
+// converted to wall time only at export.  start == end marks an instant.
+struct SpanRecord {
+  std::uint64_t trace_id = 0;     // 0 = standalone (not tied to a sampled op)
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;  // 0 = root
+  std::uint64_t start_cycles = 0;
+  std::uint64_t end_cycles = 0;
+  std::uint64_t arg0 = 0;         // kind-specific (see SpanKind comments)
+  std::uint64_t arg1 = 0;
+  SpanKind kind = SpanKind::kOp;
+  NodeId node = 0;
+};
+
+// Fixed-capacity overwrite-oldest ring.  Single-writer (the owning node
+// thread); readers wait for the thread to exit (the rack joins before
+// exporting), so no synchronization is needed or provided.
+class SpanRing {
+ public:
+  explicit SpanRing(std::size_t capacity)
+      : records_(capacity > 0 ? capacity : 1) {}
+
+  void Push(const SpanRecord& rec) {
+    records_[total_ % records_.size()] = rec;
+    ++total_;
+  }
+
+  std::uint64_t recorded() const { return total_; }
+  std::uint64_t dropped() const {
+    return total_ > records_.size() ? total_ - records_.size() : 0;
+  }
+  std::size_t size() const {
+    return total_ < records_.size() ? static_cast<std::size_t>(total_)
+                                    : records_.size();
+  }
+  std::size_t capacity() const { return records_.size(); }
+  // Valid records occupy [0, size()); order is not chronological once the
+  // ring has wrapped (Chrome sorts by timestamp, so export doesn't care).
+  const SpanRecord& operator[](std::size_t i) const { return records_[i]; }
+
+ private:
+  std::vector<SpanRecord> records_;
+  std::uint64_t total_ = 0;
+};
+
+// Per-node tracer: the sampler, the id wells and the ring.  Owned by the
+// rack, used only by the owning node's thread while it runs.  All state is
+// preallocated at construction, so every method is allocation-free.
+class Tracer {
+ public:
+  struct Config {
+    NodeId node = 0;
+    std::uint64_t sample_every = 64;  // trace 1 op in N; 1 = every op
+    std::size_t ring_capacity = 1 << 16;
+  };
+
+  explicit Tracer(const Config& config)
+      : config_(config),
+        ring_(config.ring_capacity),
+        // Node id in the high bits makes ids rack-unique without any
+        // cross-process coordination; +1 keeps node 0's ids nonzero.
+        id_base_(static_cast<std::uint64_t>(config.node + 1) << 40) {
+    if (config_.sample_every == 0) {
+      config_.sample_every = 1;
+    }
+  }
+
+  NodeId node() const { return config_.node; }
+  std::uint64_t sample_every() const { return config_.sample_every; }
+
+  // Deterministic 1-in-N op sampler; the first op is always sampled.
+  bool SampleNext() { return op_counter_++ % config_.sample_every == 0; }
+  // Independent decimator for non-op streams (batch-residence spans), so a
+  // chatty coalescer cannot flush the op spans out of the ring.
+  bool SampleAux() { return aux_counter_++ % config_.sample_every == 0; }
+
+  std::uint64_t NewTraceId() { return id_base_ | ++trace_seq_; }
+  std::uint64_t NewSpanId() { return id_base_ | ++span_seq_; }
+
+  void Emit(SpanKind kind, std::uint64_t trace_id, std::uint64_t span_id,
+            std::uint64_t parent_span, std::uint64_t start_cycles,
+            std::uint64_t end_cycles, std::uint64_t arg0, std::uint64_t arg1) {
+    SpanRecord rec;
+    rec.trace_id = trace_id;
+    rec.span_id = span_id;
+    rec.parent_span = parent_span;
+    rec.start_cycles = start_cycles;
+    rec.end_cycles = end_cycles;
+    rec.arg0 = arg0;
+    rec.arg1 = arg1;
+    rec.kind = kind;
+    rec.node = config_.node;
+    ring_.Push(rec);
+  }
+
+  // Instant event (start == end == now).
+  void Instant(SpanKind kind, std::uint64_t trace_id, std::uint64_t parent_span,
+               std::uint64_t arg0, std::uint64_t arg1) {
+    const std::uint64_t now = CycleNow();
+    Emit(kind, trace_id, NewSpanId(), parent_span, now, now, arg0, arg1);
+  }
+
+  const SpanRing& ring() const { return ring_; }
+
+ private:
+  Config config_;
+  SpanRing ring_;
+  std::uint64_t id_base_;
+  std::uint64_t op_counter_ = 0;
+  std::uint64_t aux_counter_ = 0;
+  std::uint64_t trace_seq_ = 0;
+  std::uint64_t span_seq_ = 0;
+};
+
+// Anchors cycle stamps to the rack's shared clock: an event's wall time is
+// now_ns - (now_cycles - stamp)/cycles_per_ns.  Ranks share clock_epoch_ns
+// and the machine-wide TSC, so per-rank files line up after a merge.
+struct TraceExportOptions {
+  int pid = 0;                   // rank in ranked racks; 0 single-process
+  std::uint64_t now_cycles = 0;  // CycleNow() at export time
+  std::uint64_t now_ns = 0;      // rack clock (shared epoch) at export time
+  std::string process_name;      // Chrome process_name metadata
+};
+
+// Writes one Chrome trace-event JSON file ({"traceEvents":[...]}) from the
+// given tracers' rings: "X" complete events for spans, "i" instants, and
+// "s"/"f" flow events binding each requester-side rpc span to its home-side
+// rpc_serve span by trace id.  One event per line, so MergeChromeTraces can
+// splice files from different ranks without a JSON parser.
+bool WriteChromeTrace(const std::string& path,
+                      const std::vector<const Tracer*>& tracers,
+                      const TraceExportOptions& options, std::string* error);
+
+// Concatenates the traceEvents of several WriteChromeTrace files (e.g. the
+// per-rank `PATH.rankN` files of a multi-process run) into one valid file.
+bool MergeChromeTraces(const std::vector<std::string>& inputs,
+                       const std::string& out_path, std::string* error);
+
+}  // namespace cckvs
+
+#endif  // CCKVS_RUNTIME_TRACING_H_

@@ -205,6 +205,9 @@ class LiveTransport {
     std::uint64_t data_sent() const { return data_sent_; }
     std::uint64_t data_processed() const { return data_processed_; }
     const SendCoalescer& coalescer() const { return coalescer_; }
+    // Arms batch-residence tracing on the send coalescer (runtime/tracing.h).
+    // Call before the owning node's thread starts; null disarms.
+    void set_tracer(Tracer* tracer) { coalescer_.set_tracer(tracer); }
 
    private:
     friend class LiveTransport;

@@ -148,12 +148,17 @@ inline void SerializeWireBody(const WireBody& body, Buffer* out) {
     w.PutU8(static_cast<std::uint8_t>(req->op));
     w.PutU64(req->key);
     w.PutString(req->value);
+    // Trace context rides last (append-only ABI evolution): the id and the
+    // requester-side parent span (runtime/tracing.h), 0/0 when untraced.
+    w.PutU64(req->trace_id);
+    w.PutU64(req->parent_span);
   } else if (const auto* resp = std::get_if<RpcResponse>(&body)) {
     w.PutU8(static_cast<std::uint8_t>(WireTag::kRpcResponse));
     w.PutU32(resp->op_id);
     PutTs(&w, resp->ts);
     w.PutU8(resp->gated ? 1 : 0);
     w.PutString(resp->value);
+    w.PutU64(resp->trace_id);
   } else if (const auto* probe = std::get_if<TermProbeMsg>(&body)) {
     w.PutU8(static_cast<std::uint8_t>(WireTag::kTermProbe));
     w.PutU32(probe->round);
@@ -236,7 +241,8 @@ inline bool TryDeserializeWireBody(SafeReader* r, WireBody* out) {
       RpcRequest* m = SlotAs<RpcRequest>(out);
       std::uint8_t op = 0;
       if (!r->GetU32(&m->op_id) || !r->GetU8(&op) || op > 1 ||
-          !r->GetU64(&m->key) || !r->GetString(&m->value)) {
+          !r->GetU64(&m->key) || !r->GetString(&m->value) ||
+          !r->GetU64(&m->trace_id) || !r->GetU64(&m->parent_span)) {
         return false;
       }
       m->op = static_cast<OpType>(op);
@@ -246,7 +252,7 @@ inline bool TryDeserializeWireBody(SafeReader* r, WireBody* out) {
       RpcResponse* m = SlotAs<RpcResponse>(out);
       std::uint8_t gated = 0;
       if (!r->GetU32(&m->op_id) || !GetTs(r, &m->ts) || !r->GetU8(&gated) ||
-          gated > 1 || !r->GetString(&m->value)) {
+          gated > 1 || !r->GetString(&m->value) || !r->GetU64(&m->trace_id)) {
         return false;
       }
       m->gated = gated != 0;

@@ -184,6 +184,12 @@ class HotSetManager {
 
   // True while shard access to `key` (homed here) must wait for the barrier.
   bool ShardGated(Key key) const { return pending_clear_.count(key) != 0; }
+  // The gated keys themselves, each with the epoch whose barrier it awaits.
+  // The live node's transition timeline (runtime/tracing.h) opens one
+  // gate_closed span per entry and closes it at the LiftGate hook.
+  const std::unordered_map<Key, std::uint64_t>& pending_clear() const {
+    return pending_clear_;
+  }
 
   std::uint64_t target_epoch() const { return target_epoch_; }
   std::size_t deferred_evictions() const { return deferred_.size(); }

@@ -15,6 +15,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -22,6 +25,7 @@
 
 #include "src/runtime/live_rack.h"
 #include "src/runtime/multiproc.h"
+#include "src/runtime/tracing.h"
 #include "src/verify/history.h"
 
 #if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
@@ -160,6 +164,147 @@ TEST(MultiprocRack, SocketFourRanksLinUnderEpochsAndDrift) {
 
 TEST(MultiprocRack, SocketFourRanksScUnderEpochsAndDrift) {
   RunAndCertify(TransportKind::kSocket, ConsistencyModel::kSc, "uds_sc");
+}
+
+// Scans one exported per-rank trace file line by line (one event per line,
+// by construction) and collects the trace ids of requester-side `rpc` spans
+// and home-side `rpc_serve` spans, plus which transition kinds appeared.
+struct TraceScan {
+  std::set<std::string> rpc_traces;
+  std::set<std::string> serve_traces;
+  bool saw_epoch_install = false;
+  bool saw_barrier_wait = false;
+  bool saw_gate_closed = false;
+  std::size_t events = 0;
+};
+
+std::string TraceIdOf(const std::string& line) {
+  const std::string key = "\"trace\":\"";
+  const std::size_t at = line.find(key);
+  if (at == std::string::npos) {
+    return "";
+  }
+  const std::size_t begin = at + key.size();
+  const std::size_t end = line.find('"', begin);
+  return end == std::string::npos ? "" : line.substr(begin, end - begin);
+}
+
+void ScanTraceFile(const std::string& path, TraceScan* scan) {
+  std::ifstream f(path);
+  ASSERT_TRUE(f) << "missing per-rank trace file " << path;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty() || line[0] != '{' ||
+        line.rfind("{\"traceEvents\"", 0) == 0) {
+      continue;
+    }
+    ++scan->events;
+    // The trailing comma disambiguates "rpc" from "rpc_serve"/"rpc_flow".
+    const std::string trace = TraceIdOf(line);
+    if (line.find("\"name\":\"rpc\",") != std::string::npos) {
+      if (!trace.empty() && trace != "0x0") {
+        scan->rpc_traces.insert(trace);
+      }
+    } else if (line.find("\"name\":\"rpc_serve\",") != std::string::npos) {
+      if (!trace.empty() && trace != "0x0") {
+        scan->serve_traces.insert(trace);
+      }
+    } else if (line.find("\"name\":\"epoch_install\",") != std::string::npos) {
+      scan->saw_epoch_install = true;
+    } else if (line.find("\"name\":\"barrier_wait\",") != std::string::npos) {
+      scan->saw_barrier_wait = true;
+    } else if (line.find("\"name\":\"gate_closed\",") != std::string::npos) {
+      scan->saw_gate_closed = true;
+    }
+  }
+}
+
+// The tracing acceptance scenario: a traced 4-rank shm rack with online
+// epochs produces per-rank span files whose requester-side `rpc` spans join
+// home-side `rpc_serve` spans from OTHER processes by trace id, records the
+// epoch-transition timeline, and the per-rank files merge into one valid
+// Chrome trace.
+TEST(MultiprocRack, TracedShmRackStitchesRpcSpansAcrossRanks) {
+  const std::string run_tag = "trace";
+  LiveRackParams params =
+      MultiprocParams(TransportKind::kShm, ConsistencyModel::kLin, run_tag);
+  params.record_history = false;  // certification is the other tests' job
+  params.trace_path =
+      "/tmp/cckvs_mpt_" + std::to_string(getpid()) + "_trace.json";
+  params.trace_sample = 1;            // every op: stitching must be abundant
+  params.trace_ring_capacity = 1 << 17;
+
+  std::vector<pid_t> children;
+  for (int rank = 1; rank < params.num_nodes; ++rank) {
+    LiveRackParams child = params;
+    child.transport.rank = rank;
+    std::string error;
+    const pid_t pid = SpawnSelf(
+        {"--cckvs-join", EncodeRackParams(child), ArtifactPath(run_tag, rank)},
+        &error);
+    ASSERT_GE(pid, 0) << error;
+    children.push_back(pid);
+  }
+
+  params.transport.rank = 0;
+  LiveRack rack(params);
+  const LiveReport report = rack.Run();
+  EXPECT_TRUE(report.ok()) << report.transport_error;
+  EXPECT_TRUE(report.trace_error.empty()) << report.trace_error;
+  EXPECT_GT(report.spans_recorded, 0u);
+
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    int code = -1;
+    std::string error;
+    EXPECT_TRUE(WaitExit(children[i], &code, &error)) << error;
+    EXPECT_EQ(code, 0) << "rank " << i + 1 << " failed";
+    std::remove(ArtifactPath(run_tag, i + 1).c_str());
+  }
+
+  // Every rank exported its own span file; scan them all.
+  TraceScan scan;
+  std::vector<std::string> rank_files;
+  for (int rank = 0; rank < params.num_nodes; ++rank) {
+    rank_files.push_back(params.trace_path + ".rank" + std::to_string(rank));
+    ScanTraceFile(rank_files.back(), &scan);
+  }
+  EXPECT_GT(scan.events, 0u);
+
+  // The stitching invariant: a sampled remote miss leaves an `rpc` span in
+  // the requester's file and an `rpc_serve` span with the SAME trace id in
+  // the home rank's file — a different process.
+  EXPECT_FALSE(scan.rpc_traces.empty()) << "no sampled rpc spans recorded";
+  EXPECT_FALSE(scan.serve_traces.empty()) << "no rpc_serve spans recorded";
+  std::set<std::string> joined;
+  for (const std::string& t : scan.rpc_traces) {
+    if (scan.serve_traces.count(t) != 0) {
+      joined.insert(t);
+    }
+  }
+  EXPECT_FALSE(joined.empty())
+      << "no rpc span joins an rpc_serve span by trace id across ranks";
+
+  // The epoch-transition timeline made it into the spans.
+  EXPECT_TRUE(scan.saw_epoch_install) << "no epoch_install span recorded";
+  EXPECT_TRUE(scan.saw_barrier_wait) << "no barrier_wait span recorded";
+  EXPECT_TRUE(scan.saw_gate_closed) << "no gate_closed span recorded";
+
+  // And the per-rank files splice into one well-formed trace.
+  std::string error;
+  ASSERT_TRUE(MergeChromeTraces(rank_files, params.trace_path, &error)) << error;
+  std::ifstream merged(params.trace_path);
+  ASSERT_TRUE(merged);
+  std::string text((std::istreambuf_iterator<char>(merged)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(text.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(text.find("{\"traceEvents\"", 1), std::string::npos)
+      << "per-rank header leaked into the merged trace";
+  EXPECT_NE(text.find("\"name\":\"rpc_serve\""), std::string::npos);
+
+  std::remove(params.trace_path.c_str());
+  for (const std::string& f : rank_files) {
+    std::remove(f.c_str());
+  }
 }
 
 // Params survive the argv hand-off bit-exactly (doubles included).

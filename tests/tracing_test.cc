@@ -1,0 +1,290 @@
+// Distributed per-op tracing (runtime/tracing.h): the span ring, the
+// deterministic sampler, the zero-allocation Emit path, the Chrome
+// trace-event export, and the per-rank merge.
+//
+// The hard invariants here:
+//  * Emit() never allocates — a traced rack must pass the same alloc_assert
+//    audit an untraced one does, so the ring is a bounds-free array store.
+//  * Sampling is deterministic — two tracers with the same config sample the
+//    same ops, so traced runs are reproducible and tests can assert on them.
+//  * A traced live rack exports a file that downstream tooling
+//    (chrome://tracing, tools/trace_report.py) accepts, and per-rank files
+//    merge into one such file by line surgery alone.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/alloc_tracker.h"
+#include "src/common/cycles.h"
+#include "src/runtime/live_rack.h"
+#include "src/runtime/tracing.h"
+
+namespace cckvs {
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+std::string TempPath(const char* tag) {
+  return "/tmp/cckvs_tracing_test_" + std::to_string(getpid()) + "_" + tag +
+         ".json";
+}
+
+TEST(SpanRing, KeepsNewestOnWraparound) {
+  SpanRing ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    SpanRecord rec;
+    rec.span_id = i;
+    ring.Push(rec);
+  }
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  EXPECT_EQ(ring.size(), 4u);
+  // Slots hold the newest 4 records (6..9), overwrite-oldest order.
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    ids.push_back(ring[i].span_id);
+  }
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{8, 9, 6, 7}));
+}
+
+TEST(SpanRing, NoDropsBelowCapacity) {
+  SpanRing ring(8);
+  for (int i = 0; i < 8; ++i) {
+    ring.Push(SpanRecord{});
+  }
+  EXPECT_EQ(ring.recorded(), 8u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.size(), 8u);
+}
+
+TEST(Tracer, SamplerIsDeterministicOneInN) {
+  Tracer::Config config;
+  config.node = 2;
+  config.sample_every = 4;
+  Tracer a(config);
+  Tracer b(config);
+  int sampled = 0;
+  for (int i = 0; i < 64; ++i) {
+    const bool sa = a.SampleNext();
+    EXPECT_EQ(sa, b.SampleNext()) << "op " << i;  // same config => same picks
+    EXPECT_EQ(sa, i % 4 == 0) << "op " << i;      // op 0 always sampled
+    sampled += sa;
+  }
+  EXPECT_EQ(sampled, 16);
+}
+
+TEST(Tracer, AuxSamplerIsIndependentOfOpSampler) {
+  Tracer::Config config;
+  config.sample_every = 2;
+  Tracer t(config);
+  EXPECT_TRUE(t.SampleNext());
+  EXPECT_TRUE(t.SampleAux());  // its own counter: not advanced by SampleNext
+  EXPECT_FALSE(t.SampleNext());
+  EXPECT_FALSE(t.SampleAux());
+  EXPECT_TRUE(t.SampleNext());
+  EXPECT_TRUE(t.SampleAux());
+}
+
+TEST(Tracer, IdsEmbedNodeAndNeverCollideAcrossNodes) {
+  Tracer::Config c0;
+  c0.node = 0;
+  Tracer::Config c3;
+  c3.node = 3;
+  Tracer t0(c0);
+  Tracer t3(c3);
+  // Same sequence position on different nodes must differ (rack-unique ids
+  // without coordination), and node 0's ids must still be nonzero.
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t id0 = t0.NewTraceId();
+    const std::uint64_t id3 = t3.NewTraceId();
+    EXPECT_NE(id0, 0u);
+    EXPECT_NE(id0, id3);
+    EXPECT_EQ(id0 >> 40, 1u);  // (node + 1) << 40
+    EXPECT_EQ(id3 >> 40, 4u);
+  }
+}
+
+TEST(Tracer, SampleEveryZeroCoercedToEveryOp) {
+  Tracer::Config config;
+  config.sample_every = 0;
+  Tracer t(config);
+  EXPECT_TRUE(t.SampleNext());
+  EXPECT_TRUE(t.SampleNext());
+}
+
+// The tentpole invariant: recording spans allocates nothing once the tracer
+// exists.  This is what lets a traced rack pass the alloc_assert audit.
+TEST(Tracer, EmitIsAllocationFree) {
+  if (!alloc::TrackerAvailable()) {
+    GTEST_SKIP() << "allocation tracker compiled out (sanitizer build)";
+  }
+  Tracer::Config config;
+  config.sample_every = 1;
+  config.ring_capacity = 1 << 10;
+  Tracer t(config);
+
+  alloc::EnableThread();
+  alloc::ResetThread();
+  for (int i = 0; i < 10'000; ++i) {  // 10x ring capacity: wraps repeatedly
+    if (t.SampleNext()) {
+      const std::uint64_t trace = t.NewTraceId();
+      const std::uint64_t span = t.NewSpanId();
+      t.Emit(SpanKind::kOp, trace, span, 0, CycleNow(), CycleNow(),
+             static_cast<std::uint64_t>(i), 1);
+      t.Instant(SpanKind::kFillApplied, trace, span, 7, 8);
+    }
+  }
+  const std::uint64_t allocs = alloc::ThreadCount();
+  alloc::DisableThread();
+  EXPECT_EQ(allocs, 0u);
+}
+
+TEST(ChromeExport, WritesValidFileWithAnchoredTimestamps) {
+  Tracer::Config config;
+  config.node = 1;
+  Tracer t(config);
+  const std::uint64_t start = CycleNow();
+  t.Emit(SpanKind::kRpc, t.NewTraceId(), t.NewSpanId(), 0, start, CycleNow(),
+         42, 0);
+  t.Instant(SpanKind::kAnnounce, 0, 0, 3, 128);
+
+  const std::string path = TempPath("export");
+  TraceExportOptions opts;
+  opts.pid = 0;
+  opts.now_cycles = CycleNow();
+  opts.now_ns = 5'000'000'000ull;  // 5s into the run
+  std::string error;
+  ASSERT_TRUE(WriteChromeTrace(path, {&t}, opts, &error)) << error;
+
+  const std::string text = Slurp(path);
+  EXPECT_EQ(text.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(text.find("\"name\":\"rpc\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"announce\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+  // rpc spans carry flow events so Chrome draws the cross-process arrow.
+  EXPECT_NE(text.find("\"name\":\"rpc_flow\""), std::string::npos);
+  // Metadata names the process and the node thread.
+  EXPECT_NE(text.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(text.find("\"node 1\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ChromeExport, MergeSplicesRankFilesIntoOneTrace) {
+  Tracer::Config c0;
+  c0.node = 0;
+  Tracer::Config c1;
+  c1.node = 1;
+  Tracer t0(c0);
+  Tracer t1(c1);
+  const std::uint64_t trace = t0.NewTraceId();
+  t0.Emit(SpanKind::kRpc, trace, t0.NewSpanId(), 0, CycleNow(), CycleNow(), 1, 0);
+  t1.Emit(SpanKind::kRpcServe, trace, t1.NewSpanId(), 0, CycleNow(), CycleNow(),
+          1, 0);
+
+  const std::string rank0 = TempPath("rank0");
+  const std::string rank1 = TempPath("rank1");
+  const std::string merged = TempPath("merged");
+  TraceExportOptions opts;
+  opts.now_cycles = CycleNow();
+  opts.now_ns = 1'000'000;
+  std::string error;
+  ASSERT_TRUE(WriteChromeTrace(rank0, {&t0}, opts, &error)) << error;
+  opts.pid = 1;
+  ASSERT_TRUE(WriteChromeTrace(rank1, {&t1}, opts, &error)) << error;
+  ASSERT_TRUE(MergeChromeTraces({rank0, rank1}, merged, &error)) << error;
+
+  const std::string text = Slurp(merged);
+  EXPECT_EQ(text.rfind("{\"traceEvents\":[", 0), 0u);
+  // Exactly one header: the per-rank headers must not leak into the merge.
+  EXPECT_EQ(text.find("{\"traceEvents\"", 1), std::string::npos);
+  // Both ranks' spans survive, joined by the same trace id.
+  EXPECT_NE(text.find("\"name\":\"rpc\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"rpc_serve\""), std::string::npos);
+  char trace_hex[32];
+  std::snprintf(trace_hex, sizeof(trace_hex), "0x%llx",
+                static_cast<unsigned long long>(trace));
+  std::size_t first = text.find(trace_hex);
+  EXPECT_NE(first, std::string::npos);
+  EXPECT_NE(text.find(trace_hex, first + 1), std::string::npos);
+  std::remove(rank0.c_str());
+  std::remove(rank1.c_str());
+  std::remove(merged.c_str());
+}
+
+TEST(ChromeExport, MergeRejectsMissingInput) {
+  std::string error;
+  EXPECT_FALSE(MergeChromeTraces({"/nonexistent/cckvs_trace.json"},
+                                 TempPath("mergefail"), &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// End to end: a traced single-process rack runs to completion, records spans
+// on every node, and exports a file the tooling accepts.
+TEST(TracedRack, RecordsAndExportsSpans) {
+  LiveRackParams p;
+  p.num_nodes = 2;
+  p.consistency = ConsistencyModel::kSc;
+  p.workload.keyspace = 4'096;
+  p.workload.value_bytes = 16;
+  p.cache_capacity = 64;
+  p.window_per_node = 4;
+  p.ops_per_node = 5'000;
+  p.seed = 3;
+  p.trace_path = TempPath("rack");
+  p.trace_sample = 8;
+
+  LiveRack rack(p);
+  const LiveReport r = rack.Run();
+  ASSERT_TRUE(r.ok()) << r.transport_error;
+  EXPECT_TRUE(r.trace_error.empty()) << r.trace_error;
+  EXPECT_GT(r.spans_recorded, 0u);
+
+  const std::string text = Slurp(p.trace_path);
+  EXPECT_EQ(text.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(text.find("\"name\":\"op\""), std::string::npos);
+  std::remove(p.trace_path.c_str());
+}
+
+// The acceptance invariant: tracing ON changes the zero-alloc audit nothing.
+// Same configuration as the live_throughput audit section, shrunk.
+TEST(TracedRack, PassesZeroAllocAuditWithTracingOn) {
+  LiveRackParams p;
+  p.num_nodes = 2;
+  p.consistency = ConsistencyModel::kSc;
+  p.workload.keyspace = 16'384;
+  p.workload.value_bytes = 16;
+  p.cache_capacity = 128;
+  p.window_per_node = 8;
+  p.ops_per_node = 20'000;
+  p.coalescing = true;
+  p.seed = 5;
+  p.prefill_store = true;
+  p.track_allocs = true;
+  p.alloc_assert = true;  // CHECK-fails the test on any steady-state alloc
+  p.trace_path = TempPath("zeroalloc");
+  p.trace_sample = 4;
+
+  LiveRack rack(p);
+  const LiveReport r = rack.Run();
+  ASSERT_TRUE(r.ok()) << r.transport_error;
+  EXPECT_EQ(r.hot_path_allocs, 0u);
+  EXPECT_GT(r.spans_recorded, 0u);
+  std::remove(p.trace_path.c_str());
+}
+
+}  // namespace
+}  // namespace cckvs

@@ -71,6 +71,8 @@ WireBody RandomBody(std::mt19937_64& rng, int variant) {
       req.op = rng() % 2 == 0 ? OpType::kGet : OpType::kPut;
       req.key = rng();
       req.value = req.op == OpType::kPut ? RandomString(rng, 64) : "";
+      req.trace_id = rng();  // piggybacked trace context (runtime/tracing.h)
+      req.parent_span = rng();
       return req;
     }
     case 7: {
@@ -79,6 +81,7 @@ WireBody RandomBody(std::mt19937_64& rng, int variant) {
       resp.ts = RandomTs(rng);
       resp.gated = rng() % 2 == 0;
       resp.value = RandomString(rng, 64);
+      resp.trace_id = rng();
       return resp;
     }
     case 8:
@@ -246,6 +249,63 @@ TEST(WireCodec, HeaderFieldsAreEndiannessStable) {
       0x05,                                            // ts.writer
       0x02, 0x00, 0x00, 0x00,                          // value length u32 le
       'A', 'B',
+  };
+  ASSERT_EQ(raw.size(), sizeof(expect));
+  for (std::size_t i = 0; i < sizeof(expect); ++i) {
+    EXPECT_EQ(raw[i], expect[i]) << "byte " << i;
+  }
+}
+
+// The RPC bodies carry the piggybacked trace context LAST (append-only ABI
+// evolution): these pins freeze the full layouts so neither a field reorder
+// nor a width change can slip through, and prove untraced peers interoperate
+// (trace fields serialize as zeros, never as absent bytes).
+TEST(WireCodec, RpcRequestLayoutWithTraceContextIsPinned) {
+  RpcRequest req;
+  req.op_id = 0x0a0b0c0d;
+  req.op = OpType::kPut;
+  req.key = 0x1122334455667788ull;
+  req.value = "V";
+  req.trace_id = 0x0102030405060708ull;
+  req.parent_span = 0x1112131415161718ull;
+  Buffer raw;
+  SerializeWireBody(WireBody{req}, &raw);
+
+  const std::uint8_t expect[] = {
+      0x07,                                            // WireTag::kRpcRequest
+      0x0d, 0x0c, 0x0b, 0x0a,                          // op_id u32 le
+      0x01,                                            // op (kPut)
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,  // key u64 le
+      0x01, 0x00, 0x00, 0x00,                          // value length u32 le
+      'V',
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // trace_id u64 le
+      0x18, 0x17, 0x16, 0x15, 0x14, 0x13, 0x12, 0x11,  // parent_span u64 le
+  };
+  ASSERT_EQ(raw.size(), sizeof(expect));
+  for (std::size_t i = 0; i < sizeof(expect); ++i) {
+    EXPECT_EQ(raw[i], expect[i]) << "byte " << i;
+  }
+}
+
+TEST(WireCodec, RpcResponseLayoutWithTraceContextIsPinned) {
+  RpcResponse resp;
+  resp.op_id = 0x0a0b0c0d;
+  resp.ts = Timestamp{0xaabbccdd, 3};
+  resp.gated = true;
+  resp.value = "W";
+  resp.trace_id = 0x0102030405060708ull;
+  Buffer raw;
+  SerializeWireBody(WireBody{resp}, &raw);
+
+  const std::uint8_t expect[] = {
+      0x08,                                            // WireTag::kRpcResponse
+      0x0d, 0x0c, 0x0b, 0x0a,                          // op_id u32 le
+      0xdd, 0xcc, 0xbb, 0xaa,                          // ts.clock u32 le
+      0x03,                                            // ts.writer
+      0x01,                                            // gated
+      0x01, 0x00, 0x00, 0x00,                          // value length u32 le
+      'W',
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // trace_id u64 le
   };
   ASSERT_EQ(raw.size(), sizeof(expect));
   for (std::size_t i = 0; i < sizeof(expect); ++i) {

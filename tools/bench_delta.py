@@ -24,6 +24,10 @@ The zero-alloc audit is deterministic too (an allocation either happens on the
 steady-state path or it doesn't): any entry whose `hot_path_allocs` is nonzero
 when the baseline's was zero (or absent) is a HARD warning — the hot path
 started allocating again (docs/PERFORMANCE.md, "Zero-allocation audit").
+
+Tracing is designed to be near-free (docs/OBSERVABILITY.md): any entry whose
+`trace_overhead_pct` exceeds 5 is a HARD warning — the traced hot path got
+measurably slower than the untraced one, which defeats always-on sampling.
 """
 
 import json
@@ -37,6 +41,7 @@ FIELDS = [
     ("p99_latency_us", False),
 ]
 WARN_PCT = 10.0
+TRACE_OVERHEAD_HARD_PCT = 5.0
 
 
 def load_dir(path):
@@ -127,6 +132,13 @@ def main():
                 hard.append(
                     f"{short} `{label}`: hot_path_allocs={allocs:g} "
                     "— the steady-state hot path regressed from zero allocations"
+                )
+            overhead = cur_entry.get("trace_overhead_pct")
+            if overhead is not None and overhead > TRACE_OVERHEAD_HARD_PCT:
+                hard.append(
+                    f"{short} `{label}`: trace_overhead_pct={overhead:.1f} "
+                    f"(limit {TRACE_OVERHEAD_HARD_PCT:.0f}) — sampled tracing "
+                    "slowed the hot path beyond its budget"
                 )
         if base_doc is None:
             print(f"| {name} | _(new bench)_ |" + " — |" * len(FIELDS))

@@ -1,0 +1,248 @@
+#!/usr/bin/env python3
+"""Summarize, validate or merge ccKVS Chrome trace-event files.
+
+The live rack's tracer (src/runtime/tracing.h) exports one Chrome
+trace-event JSON per process: {"traceEvents": [...]} with "X" complete
+events for spans, "i" instants, and "s"/"f" flow events joining the
+requester-side `rpc` span to the home-side `rpc_serve` span by trace id.
+Open the file in chrome://tracing or Perfetto for the visual timeline;
+this tool gives the terminal view.
+
+Usage:
+  trace_report.py TRACE.json             # per-kind latency table + timelines
+  trace_report.py --check TRACE.json     # strict validation; exit 1 on failure
+  trace_report.py --merge OUT.json IN1.json IN2.json ...
+
+Summary mode prints:
+  * a per-kind table (count, mean/p50/p99/max duration) over all spans;
+  * the slowest sampled ops with their child spans (rpc legs, gated waits);
+  * the epoch-transition timeline: per epoch, the announce, each node's
+    install duration, barrier wait, and every gate_closed span's duration.
+
+Check mode (CI: bench-smoke runs it on the traced artifact) asserts:
+  * the file parses as a Chrome trace object with a traceEvents list;
+  * every event has the required keys for its phase and µs timestamps;
+  * durations are non-negative and args carry the trace/span id strings;
+  * every `rpc` span whose trace has a remote home joins an `rpc_serve`
+    span with the same trace id (the cross-process stitching invariant)
+    whenever any rpc_serve events exist at all.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+REQUIRED_X = ("name", "ph", "pid", "tid", "ts", "dur")
+REQUIRED_I = ("name", "ph", "pid", "tid", "ts")
+
+TRANSITION_KINDS = (
+    "announce",
+    "epoch_install",
+    "barrier_wait",
+    "gate_closed",
+    "peer_installed",
+    "fill_applied",
+)
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        raise ValueError(f"{path}: not a Chrome trace object with traceEvents")
+    return doc["traceEvents"]
+
+
+def percentile(sorted_vals, p):
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(p * (len(sorted_vals) - 1)))
+    return sorted_vals[idx]
+
+
+def spans_of(events):
+    return [e for e in events if e.get("ph") == "X"]
+
+
+def instants_of(events):
+    return [e for e in events if e.get("ph") == "i"]
+
+
+def summarize(events):
+    by_kind = defaultdict(list)
+    for e in spans_of(events):
+        by_kind[e["name"]].append(float(e.get("dur", 0.0)))
+    for e in instants_of(events):
+        by_kind[e["name"]]  # count instants too (zero-duration rows)
+        by_kind[e["name"]].append(0.0)
+
+    print(f"{'kind':<16}{'count':>8}{'mean us':>12}{'p50 us':>12}"
+          f"{'p99 us':>12}{'max us':>12}")
+    for kind in sorted(by_kind):
+        durs = sorted(by_kind[kind])
+        mean = sum(durs) / len(durs)
+        print(f"{kind:<16}{len(durs):>8}{mean:>12.2f}"
+              f"{percentile(durs, 0.50):>12.2f}"
+              f"{percentile(durs, 0.99):>12.2f}{durs[-1]:>12.2f}")
+
+    # Slowest sampled ops with their child spans, joined by trace id.
+    ops = [e for e in spans_of(events) if e["name"] == "op"]
+    children = defaultdict(list)
+    for e in spans_of(events):
+        if e["name"] == "op":
+            continue
+        trace = e.get("args", {}).get("trace")
+        if trace and trace != "0x0":
+            children[trace].append(e)
+    ops.sort(key=lambda e: float(e.get("dur", 0.0)), reverse=True)
+    if ops:
+        print("\nslowest sampled ops:")
+        for e in ops[:10]:
+            trace = e.get("args", {}).get("trace", "?")
+            legs = children.get(trace, [])
+            legs.sort(key=lambda c: float(c.get("ts", 0.0)))
+            detail = ", ".join(
+                f"{c['name']}@{c.get('pid', '?')}/{c.get('tid', '?')}"
+                f" {float(c.get('dur', 0.0)):.1f}us"
+                for c in legs
+            )
+            print(f"  {float(e['dur']):>10.1f}us  trace {trace} "
+                  f"node {e.get('tid')}" + (f"  [{detail}]" if detail else ""))
+
+    timeline = transition_timeline(events)
+    if timeline:
+        print("\nepoch transitions:")
+        for epoch in sorted(timeline):
+            rows = timeline[epoch]
+            print(f"  epoch {epoch}:")
+            for line in rows:
+                print(f"    {line}")
+
+
+def transition_timeline(events):
+    """Groups transition spans/instants by epoch -> human lines."""
+    out = defaultdict(list)
+    for e in events:
+        if e.get("name") not in TRANSITION_KINDS:
+            continue
+        args = e.get("args", {})
+        node = f"pid {e.get('pid')}/node {e.get('tid')}"
+        name = e["name"]
+        if name == "announce":
+            out[args.get("a0")].append(f"announce at {node} ({args.get('a1')} keys)")
+        elif name == "epoch_install":
+            out[args.get("a0")].append(
+                f"install at {node}: {float(e.get('dur', 0.0)):.1f}us"
+                f" ({args.get('a1')} deferred)")
+        elif name == "barrier_wait":
+            out[args.get("a0")].append(
+                f"barrier at {node}: {float(e.get('dur', 0.0)):.1f}us")
+        elif name == "gate_closed":
+            out[args.get("a1")].append(
+                f"gate key {args.get('a0')} at {node}: "
+                f"{float(e.get('dur', 0.0)):.1f}us closed")
+    return out
+
+
+def check(paths):
+    failures = []
+    rpc_traces = set()
+    serve_traces = set()
+    total = 0
+    for path in paths:
+        try:
+            events = load(path)
+        except (OSError, ValueError, json.JSONDecodeError) as err:
+            failures.append(str(err))
+            continue
+        for i, e in enumerate(events):
+            where = f"{path}[{i}]"
+            ph = e.get("ph")
+            if ph not in ("X", "i", "s", "f", "M"):
+                failures.append(f"{where}: unknown phase {ph!r}")
+                continue
+            if ph == "M":
+                continue
+            required = REQUIRED_X if ph == "X" else REQUIRED_I
+            missing = [k for k in required if k not in e]
+            if missing:
+                failures.append(f"{where}: {ph} event missing {missing}")
+                continue
+            if ph == "X" and float(e["dur"]) < 0:
+                failures.append(f"{where}: negative duration {e['dur']}")
+            if float(e["ts"]) < 0:
+                failures.append(f"{where}: negative timestamp {e['ts']}")
+            if ph in ("s", "f") and "id" not in e:
+                failures.append(f"{where}: flow event without id")
+            if ph in ("X", "i"):
+                total += 1
+                args = e.get("args")
+                if not isinstance(args, dict) or "trace" not in args or "span" not in args:
+                    failures.append(f"{where}: span without trace/span args")
+                    continue
+                trace = args["trace"]
+                if e["name"] == "rpc" and trace != "0x0":
+                    rpc_traces.add(trace)
+                elif e["name"] == "rpc_serve" and trace != "0x0":
+                    serve_traces.add(trace)
+
+    # Cross-process stitching: whenever home-side serve spans exist at all,
+    # at least one requester rpc span must join one by trace id.  (rpc spans
+    # without a matching serve are legitimate: the ring on the home rank may
+    # have wrapped past that op.)
+    if serve_traces and rpc_traces and not (rpc_traces & serve_traces):
+        failures.append(
+            f"no rpc span joins any rpc_serve span by trace id "
+            f"({len(rpc_traces)} rpc vs {len(serve_traces)} rpc_serve traces)"
+        )
+
+    joined = len(rpc_traces & serve_traces)
+    if failures:
+        print(f"FAIL: {len(failures)} problem(s) across {len(paths)} file(s):")
+        for msg in failures[:20]:
+            print(f"  - {msg}")
+        if len(failures) > 20:
+            print(f"  ... and {len(failures) - 20} more")
+        return 1
+    print(f"OK: {total} spans across {len(paths)} file(s), "
+          f"{joined} rpc/rpc_serve trace(s) stitched")
+    return 0
+
+
+def merge(out_path, inputs):
+    events = []
+    for path in inputs:
+        events.extend(load(path))
+    with open(out_path, "w") as f:
+        f.write('{"traceEvents":[\n')
+        f.write(",\n".join(json.dumps(e, separators=(",", ":")) for e in events))
+        f.write("\n]}\n")
+    print(f"merged {len(inputs)} file(s), {len(events)} events -> {out_path}")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--check", action="store_true",
+                        help="validate instead of summarize; exit 1 on failure")
+    parser.add_argument("--merge", metavar="OUT",
+                        help="merge the input files into OUT")
+    parser.add_argument("paths", nargs="+", help="trace file(s)")
+    args = parser.parse_args()
+
+    if args.merge:
+        return merge(args.merge, args.paths)
+    if args.check:
+        return check(args.paths)
+    events = []
+    for path in args.paths:
+        events.extend(load(path))
+    summarize(events)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
