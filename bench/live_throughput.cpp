@@ -41,6 +41,23 @@
 //                              (trace written to PATH.zeroalloc), proving the
 //                              span rings allocate nothing in steady state.
 //   --trace-sample=N           trace 1 op in N (default 64).
+//   --l1=off|on|N              arm the per-node L1 tail cache (cache/l1_tail.h)
+//                              on every live rack in the sweep: `on` uses 4096
+//                              entries, a number sets the capacity directly
+//                              (default off).  CI runs off and on as separate
+//                              jobs so the artifact pair prices the tier.
+//   --l1-policy=lru|clock|lfu  L1 replacement policy (default lru).
+//
+// Independent of --l1, the bench always runs a per-node-skew L1 pair: a
+// 4-process shm rack (the bench re-execs itself with --cckvs-join per rank,
+// as tools/run_multiproc.sh does) under a strided workload
+// (node_rank_stride rotates each node's zipf ranks, so nodes agree on little
+// of their tails) with the L1 off and then on.  Separate processes matter
+// here: a shared-cache miss must cost a real serialized RPC into another
+// address space — an in-process rack underprices that miss to a function
+// call, which no private tier can beat.  The L1-on JSON entry carries both
+// racks' whole-rack Mops/s (`rack_mrps`, `l1_off_mrps`), the pair
+// tools/bench_delta.py hard-warns on when the tier stops paying for itself.
 //
 // The final section is the zero-allocation audit (docs/PERFORMANCE.md): an
 // SC rack with the whole store prefilled runs with the allocation tracker
@@ -50,12 +67,15 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "src/runtime/live_rack.h"
+#include "src/runtime/multiproc.h"
 
 namespace {
 
@@ -78,6 +98,28 @@ cckvs::TransportOptions SweepTransport(cckvs::TransportKind kind) {
 int main(int argc, char** argv) {
   using namespace cckvs;
   using namespace cckvs::bench;
+  if (argc == 4 && std::strcmp(argv[1], "--cckvs-join") == 0) {
+    // Child rank of the L1 pair's 4-process rack: decode the param blob, run
+    // one rank, drop the artifact for the parent.  Same protocol as
+    // tests/multiproc_rack_test.cc and tools/run_multiproc.sh.
+    LiveRackParams params;
+    std::string error;
+    if (!DecodeRackParams(argv[2], &params, &error)) {
+      std::fprintf(stderr, "join: %s\n", error.c_str());
+      return 2;
+    }
+    LiveRack rack(params);
+    const LiveReport report = rack.Run();
+    RankArtifacts artifacts;
+    artifacts.completed = report.completed;
+    artifacts.rpcs_sent = report.rpcs_sent;
+    artifacts.transport_error = report.transport_error;
+    if (!SaveRankArtifacts(argv[3], artifacts, &error)) {
+      std::fprintf(stderr, "join: %s\n", error.c_str());
+      return 2;
+    }
+    return report.ok() ? 0 : 1;
+  }
   Init(argc, argv);
 
   bool run_off = true;
@@ -87,6 +129,8 @@ int main(int argc, char** argv) {
   std::string profile_csv;
   std::string trace_path;
   std::uint64_t trace_sample = 64;
+  std::uint64_t l1_capacity = 0;
+  L1Policy l1_policy = L1Policy::kLru;
   TransportKind transport = TransportKind::kInproc;
   const char* transport_name = "inproc";
   for (int i = 1; i < argc; ++i) {
@@ -113,6 +157,20 @@ int main(int argc, char** argv) {
       trace_path = argv[i] + 8;
     } else if (std::strncmp(argv[i], "--trace-sample=", 15) == 0) {
       trace_sample = std::strtoull(argv[i] + 15, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--l1=", 5) == 0) {
+      const char* v = argv[i] + 5;
+      if (std::strcmp(v, "off") == 0) {
+        l1_capacity = 0;
+      } else if (std::strcmp(v, "on") == 0) {
+        l1_capacity = 4096;
+      } else {
+        l1_capacity = std::strtoull(v, nullptr, 10);
+      }
+    } else if (std::strncmp(argv[i], "--l1-policy=", 12) == 0) {
+      if (!ParseL1Policy(argv[i] + 12, &l1_policy)) {
+        std::fprintf(stderr, "unknown --l1-policy (want lru|clock|lfu)\n");
+        return 2;
+      }
     }
   }
 
@@ -122,11 +180,19 @@ int main(int argc, char** argv) {
   const auto ApplyLoopFlags = [&](LiveRackParams* lp) {
     lp->pinning = pin;
     lp->busy_poll = busy_poll;
+    lp->l1_capacity = l1_capacity;
+    lp->l1_policy = l1_policy;
     if (!profile_csv.empty()) {
       lp->profile = true;
       lp->profile_csv_path = profile_csv + "." + std::to_string(rack_seq++);
     }
   };
+  // L1-armed runs get distinct labels so bench_delta.py never diffs a run
+  // that has a private tier against one that doesn't.
+  const std::string l1_label =
+      l1_capacity == 0 ? ""
+                       : " l1=" + std::to_string(l1_capacity) + "/" +
+                             ToString(l1_policy);
 
   const int kNodes = 8;
   const std::uint64_t ops = Smoke() ? 25'000 : 400'000;
@@ -154,7 +220,7 @@ int main(int argc, char** argv) {
       const LiveReport lr =
           RunLive(lp, std::string("live ccKVS/") + ToString(model) +
                           " coalescing=" + (coalesce ? "on" : "off") +
-                          " transport=" + transport_name +
+                          " transport=" + transport_name + l1_label +
                           (pin ? " pin" : "") + (busy_poll ? " busy-poll" : ""));
       mops[mi][coalesce ? 1 : 0] = lr.rack.mrps;
       std::printf("%-8s %-6s %12.2f %9.1f%% %10llu %10llu %10.1f %10llu\n",
@@ -207,11 +273,12 @@ int main(int argc, char** argv) {
       lp.transport = SweepTransport(transport);
       ApplyLoopFlags(&lp);
       lp.coalesce_flush_deadline_us = deadline_us;
-      char label[96];
+      char label[128];
       std::snprintf(label, sizeof(label),
-                    "live ccKVS/SC coalescing=on deadline_us=%llu transport=%s%s%s",
+                    "live ccKVS/SC coalescing=on deadline_us=%llu transport=%s%s%s%s",
                     static_cast<unsigned long long>(deadline_us), transport_name,
-                    pin ? " pin" : "", busy_poll ? " busy-poll" : "");
+                    l1_label.c_str(), pin ? " pin" : "",
+                    busy_poll ? " busy-poll" : "");
       const LiveReport lr = RunLive(lp, label);
       std::printf("%-12llu %12.2f %10.1f %10.1f %12llu %12llu\n",
                   static_cast<unsigned long long>(deadline_us), lr.rack.mrps,
@@ -219,6 +286,127 @@ int main(int argc, char** argv) {
                   lr.rack.p99_latency_us,
                   static_cast<unsigned long long>(lr.flushes_deadline),
                   static_cast<unsigned long long>(lr.flushes_boundary));
+    }
+  }
+
+  {
+    // Per-node-skew L1 pair (tentpole measurement, docs/ARCHITECTURE.md
+    // "hierarchical caching").  node_rank_stride rotates each node's zipf
+    // rank order, so the nodes agree on the global head (which the shared
+    // symmetric cache keeps) but each has a private warm tail the shared tier
+    // cannot hold for everyone.  The L1 absorbs exactly that tail.
+    //
+    // The pair runs FOUR PROCESSES over shm (ranks re-exec this binary with
+    // --cckvs-join), busy-polling, because that is where the tier's economics
+    // are real: a shared-cache miss serializes a WireBatch into another
+    // address space and waits for the owner process to poll, decode, and
+    // answer.  An in-process rack on the sweep's fabric underprices that
+    // miss to a few cache-line reads, which no private tier can beat.
+    // Off → on at the same workload prices the tier; the on-entry's JSON
+    // carries both whole-rack rates (`rack_mrps`, `l1_off_mrps`) so
+    // tools/bench_delta.py can hard-warn the moment the tier stops winning.
+    PrintHeaderRule();
+    const std::uint64_t l1_cap = l1_capacity == 0 ? 4096 : l1_capacity;
+    const int pair_nodes = 4;
+    const std::uint64_t pair_ops = Smoke() ? 40'000 : 100'000;
+    std::printf("per-node-skew L1 pair (4-process shm rack, busy-poll, "
+                "stride-rotated zipf ranks, L1 %llu/%s):\n",
+                static_cast<unsigned long long>(l1_cap), ToString(l1_policy));
+    std::printf("%-6s %12s %10s %10s %10s %10s %10s\n", "l1",
+                "rack Mops/s", "r0 hit%", "l1 hits", "l1 fills", "l1 inval",
+                "r0 rpcs");
+    double off_mrps = 0.0;
+    for (const bool l1_on : {false, true}) {
+      LiveRackParams lp;
+      lp.num_nodes = pair_nodes;
+      lp.consistency = ConsistencyModel::kSc;
+      // A tighter keyspace than the sweep's 1M: each node's private warm
+      // tail must be revisited often enough to earn its L1 slots (admission
+      // wants two proven sightings) within the run.
+      lp.workload.keyspace = 100'000;
+      lp.workload.zipf_alpha = 0.99;
+      lp.workload.write_ratio = 0.05;
+      lp.workload.value_bytes = 40;
+      lp.workload.node_rank_stride = lp.workload.keyspace / 16;
+      lp.cache_capacity = 1'000;
+      lp.window_per_node = 32;
+      lp.ops_per_node = pair_ops;
+      lp.coalescing = true;
+      lp.seed = 42;
+      lp.busy_poll = true;  // parked 4-proc racks measure wakeup chains
+      lp.l1_capacity = l1_on ? l1_cap : 0;
+      lp.l1_policy = l1_policy;
+      lp.transport = SweepTransport(TransportKind::kShm);
+      lp.clock_epoch_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count());
+      std::vector<pid_t> children;
+      std::vector<std::string> artifacts;
+      bool spawn_ok = true;
+      for (int rank = 1; rank < pair_nodes && spawn_ok; ++rank) {
+        LiveRackParams child = lp;
+        child.transport.rank = rank;
+        std::string error;
+        artifacts.push_back(lp.transport.socket_path_base + ".rank" +
+                            std::to_string(rank) + ".bin");
+        const pid_t pid = SpawnSelf(
+            {"--cckvs-join", EncodeRackParams(child), artifacts.back()},
+            &error);
+        if (pid < 0) {
+          std::fprintf(stderr, "l1 pair: spawn failed: %s\n", error.c_str());
+          spawn_ok = false;
+          break;
+        }
+        children.push_back(pid);
+      }
+      lp.transport.rank = 0;
+      LiveRack rack(lp);
+      const LiveReport lr = rack.Run();
+      bool ranks_ok = spawn_ok && lr.ok();
+      for (const pid_t pid : children) {
+        int code = -1;
+        std::string error;
+        if (!WaitExit(pid, &code, &error) || code != 0) {
+          ranks_ok = false;
+        }
+      }
+      for (const std::string& path : artifacts) {
+        ::unlink(path.c_str());
+      }
+      if (!ranks_ok) {
+        std::fprintf(stderr, "l1 pair: rack unhealthy, skipping entry\n");
+        continue;
+      }
+      // Whole-rack rate: every rank runs the same quota and termination is
+      // collective, so rank 0's wall clock covers all four ranks' ops.
+      const double rack_mrps =
+          lr.wall_seconds > 0.0
+              ? static_cast<double>(pair_nodes) * static_cast<double>(pair_ops) /
+                    lr.wall_seconds / 1e6
+              : 0.0;
+      char label[128];
+      std::snprintf(label, sizeof(label),
+                    "live ccKVS/SC node-skew 4proc-shm l1=%s/%s",
+                    l1_on ? "on" : "off", ToString(l1_policy));
+      auto fields = LiveReportFields(lr);
+      fields.emplace_back("rack_mrps", rack_mrps);
+      if (l1_on) {
+        fields.emplace_back("l1_off_mrps", off_mrps);
+      } else {
+        off_mrps = rack_mrps;
+      }
+      RecordEntry(label, std::move(fields));
+      std::printf("%-6s %12.2f %9.1f%% %10llu %10llu %10llu %10llu\n",
+                  l1_on ? "on" : "off", rack_mrps, 100.0 * lr.rack.hit_rate,
+                  static_cast<unsigned long long>(lr.rack.l1_hits),
+                  static_cast<unsigned long long>(lr.rack.l1_fills),
+                  static_cast<unsigned long long>(lr.rack.l1_invalidations),
+                  static_cast<unsigned long long>(lr.rpcs_sent));
+    }
+    if (off_mrps > 0.0) {
+      std::printf("(l1_off_mrps recorded on the on-entry; bench_delta.py "
+                  "hard-warns if on < off)\n");
     }
   }
 
@@ -284,6 +472,12 @@ int main(int argc, char** argv) {
     lp.coalescing = true;
     lp.seed = 42;
     lp.transport.kind = TransportKind::kInproc;  // audit targets shared layers
+    // The L1 tier and its admission sketch run inside the audited window —
+    // strided ranks make the tier actually fill and serve, so a hot-path
+    // allocation hiding in the probe/fill/invalidate paths aborts the bench.
+    lp.l1_capacity = 128;
+    lp.l1_policy = l1_policy;
+    lp.workload.node_rank_stride = 1'000;
     lp.prefill_store = true;
     lp.track_allocs = true;
     lp.alloc_assert = true;
@@ -303,10 +497,13 @@ int main(int argc, char** argv) {
     const LiveReport lr = RunLive(
         lp, std::string("live ccKVS/SC zero-alloc audit") +
                 (pin ? " pin" : "") + (busy_poll ? " busy-poll" : ""));
-    std::printf("zero-alloc audit (SC, inproc, prefilled store, %llu ops/node):\n",
+    std::printf("zero-alloc audit (SC, inproc, prefilled store, L1 armed, "
+                "%llu ops/node):\n",
                 static_cast<unsigned long long>(lp.ops_per_node));
-    std::printf("  steady-state hot-path allocs: %llu (invariant: 0)\n",
-                static_cast<unsigned long long>(lr.hot_path_allocs));
+    std::printf("  steady-state hot-path allocs: %llu (invariant: 0), "
+                "l1 hits inside the window: %llu\n",
+                static_cast<unsigned long long>(lr.hot_path_allocs),
+                static_cast<unsigned long long>(lr.rack.l1_hits));
     std::printf("  profiler samples: %zu, live Mops/s: %.2f, p99: %.1f us\n",
                 lr.profiler_samples.size(), lr.rack.mrps,
                 lr.rack.p99_latency_us);

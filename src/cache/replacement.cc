@@ -1,0 +1,126 @@
+#include "src/cache/replacement.h"
+
+#include "src/common/check.h"
+
+namespace cckvs {
+
+bool ParseL1Policy(const std::string& name, L1Policy* out) {
+  if (name == "lru") {
+    *out = L1Policy::kLru;
+  } else if (name == "clock") {
+    *out = L1Policy::kClock;
+  } else if (name == "lfu") {
+    *out = L1Policy::kLfu;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------- LruPolicy
+
+LruPolicy::LruPolicy(std::size_t capacity)
+    : prev_(capacity, kNil), next_(capacity, kNil) {}
+
+void LruPolicy::Unlink(std::size_t slot) {
+  const std::size_t p = prev_[slot];
+  const std::size_t n = next_[slot];
+  if (p == kNil) {
+    head_ = n;
+  } else {
+    next_[p] = n;
+  }
+  if (n == kNil) {
+    tail_ = p;
+  } else {
+    prev_[n] = p;
+  }
+  prev_[slot] = kNil;
+  next_[slot] = kNil;
+}
+
+void LruPolicy::PushFront(std::size_t slot) {
+  prev_[slot] = kNil;
+  next_[slot] = head_;
+  if (head_ != kNil) {
+    prev_[head_] = slot;
+  }
+  head_ = slot;
+  if (tail_ == kNil) {
+    tail_ = slot;
+  }
+}
+
+void LruPolicy::OnInsert(std::size_t slot) { PushFront(slot); }
+
+void LruPolicy::OnAccess(std::size_t slot) {
+  if (head_ == slot) {
+    return;
+  }
+  Unlink(slot);
+  PushFront(slot);
+}
+
+void LruPolicy::OnErase(std::size_t slot) { Unlink(slot); }
+
+std::size_t LruPolicy::Victim() {
+  CCKVS_CHECK(tail_ != kNil);
+  return tail_;
+}
+
+// -------------------------------------------------------------- ClockPolicy
+
+ClockPolicy::ClockPolicy(std::size_t capacity) : ref_(capacity, 0) {}
+
+void ClockPolicy::OnInsert(std::size_t slot) { ref_[slot] = 1; }
+
+void ClockPolicy::OnAccess(std::size_t slot) { ref_[slot] = 1; }
+
+void ClockPolicy::OnErase(std::size_t slot) { ref_[slot] = 0; }
+
+std::size_t ClockPolicy::Victim() {
+  // Every slot is live when this runs (the cache checks its free list
+  // first), so the sweep terminates within two revolutions.
+  while (ref_[hand_] != 0) {
+    ref_[hand_] = 0;
+    hand_ = (hand_ + 1) % ref_.size();
+  }
+  const std::size_t victim = hand_;
+  hand_ = (hand_ + 1) % ref_.size();
+  return victim;
+}
+
+// ---------------------------------------------------------------- LfuPolicy
+
+LfuPolicy::LfuPolicy(std::size_t capacity) : count_(capacity, 0) {}
+
+void LfuPolicy::OnInsert(std::size_t slot) { count_[slot] = 1; }
+
+void LfuPolicy::OnAccess(std::size_t slot) { ++count_[slot]; }
+
+void LfuPolicy::OnErase(std::size_t slot) { count_[slot] = 0; }
+
+std::size_t LfuPolicy::Victim() {
+  std::size_t victim = 0;
+  for (std::size_t s = 1; s < count_.size(); ++s) {
+    if (count_[s] < count_[victim]) {
+      victim = s;
+    }
+  }
+  return victim;
+}
+
+std::unique_ptr<ReplacementPolicy> MakeReplacementPolicy(L1Policy policy,
+                                                         std::size_t capacity) {
+  switch (policy) {
+    case L1Policy::kLru:
+      return std::make_unique<LruPolicy>(capacity);
+    case L1Policy::kClock:
+      return std::make_unique<ClockPolicy>(capacity);
+    case L1Policy::kLfu:
+      return std::make_unique<LfuPolicy>(capacity);
+  }
+  return std::make_unique<LruPolicy>(capacity);
+}
+
+}  // namespace cckvs

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "src/cache/replacement.h"
 #include "src/common/types.h"
 #include "src/net/network.h"
 #include "src/protocol/engine.h"
@@ -57,6 +58,7 @@ inline const char* ToString(SystemKind k) {
 struct CpuModel {
   SimTime cache_probe_ns = 20;    // hot-set membership probe
   SimTime cache_hit_ns = 90;      // cache read (seqlock copy-out)
+  SimTime l1_hit_ns = 60;         // node-private L1 tail read (no seqlock)
   SimTime cache_write_ns = 140;   // local cache write incl. protocol state
   SimTime kvs_op_ns = 130;        // MICA get/put on the home shard
   SimTime rpc_handle_ns = 50;     // incoming RPC demux before the KVS op
@@ -78,6 +80,12 @@ struct RackParams {
   // Symmetric cache: 0.1% of the dataset (§7.1).
   std::size_t cache_capacity = 250'000;
   bool prefill_hot_set = true;  // steady-state experiments pre-install the hot set
+
+  // Node-private L1 tail cache in front of the symmetric tier (0 = off):
+  // keys hot HERE but not in the global hot set, admitted by a per-node
+  // Space-Saving sketch and invalidated on any locally observable write.
+  std::size_t l1_capacity = 0;
+  L1Policy l1_policy = L1Policy::kLru;
 
   // Thread pools (§6.2 thread partitioning).  The paper's nodes have 2x10
   // cores with 2 hyperthreads each; 16 worker ("cache") threads and 8 KVS
@@ -134,9 +142,14 @@ struct RackReport {
   double mrps = 0;             // aggregate throughput
 
   // Cache behaviour (kCcKvs only).
-  double hit_rate = 0;
+  double hit_rate = 0;   // hierarchy hit rate: L1 hits + symmetric hits
   double hit_mrps = 0;   // Figure 9 split
   double miss_mrps = 0;
+
+  // Node-private L1 tail (l1_capacity > 0 runs), summed over nodes.
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_fills = 0;
+  std::uint64_t l1_invalidations = 0;
 
   // Latency (client-observed), microseconds.
   double avg_latency_us = 0;

@@ -53,6 +53,9 @@ std::vector<std::pair<std::string, double>> ReportFields(const RackReport& r) {
   f.emplace_back("credit_updates_sent", static_cast<double>(r.credit_updates_sent));
   f.emplace_back("epochs", static_cast<double>(r.epochs));
   f.emplace_back("hot_set_churn", static_cast<double>(r.hot_set_churn));
+  f.emplace_back("l1_hits", static_cast<double>(r.l1_hits));
+  f.emplace_back("l1_fills", static_cast<double>(r.l1_fills));
+  f.emplace_back("l1_invalidations", static_cast<double>(r.l1_invalidations));
   return f;
 }
 

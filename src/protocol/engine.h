@@ -141,6 +141,15 @@ class CoherenceEngine {
   virtual ConsistencyModel model() const = 0;
   const EngineStats& stats() const { return stats_; }
 
+  // Gives the reused broadcast scratch its value capacity up front.  Without
+  // this, the node's FIRST cache-hot write pays the scratch's one string
+  // growth — which lands inside the measured window (and trips the zero-alloc
+  // audit) whenever warmup happened not to write a hot key, e.g. under
+  // node-strided skew where most of a node's writes miss the shared cache.
+  void PrewarmScratch(std::size_t value_bytes) {
+    update_scratch_.value.reserve(value_bytes);
+  }
+
   // True when no write is in flight and no reader is parked (quiescence; used
   // by tests and the model checker's deadlock detection).
   virtual bool Quiescent() const;
@@ -172,6 +181,10 @@ class CoherenceEngine {
   EngineStats stats_;
   std::unordered_map<Key, std::vector<ReadDone>> parked_readers_;
   std::unordered_map<Key, std::deque<std::pair<Value, WriteDone>>> queued_writes_;
+
+  // Reused across broadcasts so the value's string capacity survives; building
+  // a fresh UpdateMsg per write would allocate on every put (hot path).
+  UpdateMsg update_scratch_;
 };
 
 // Per-key Sequential Consistency (§5.2, "SC Protocol").
@@ -190,10 +203,6 @@ class ScEngine final : public CoherenceEngine {
  private:
   void StartQueuedWrites(Key key) override;
   void ApplyWrite(Key key, CacheEntry* entry, const Value& value, WriteDone done);
-
-  // Reused across broadcasts so the value's string capacity survives; building
-  // a fresh UpdateMsg per write would allocate on every put (hot path).
-  UpdateMsg update_scratch_;
 };
 
 // Per-key Linearizability (§5.2, "Lin Protocol").
@@ -224,9 +233,6 @@ class LinEngine final : public CoherenceEngine {
 
   // done-callbacks of in-flight writes, keyed by key.
   std::unordered_map<Key, WriteDone> pending_done_;
-
-  // Reused across broadcasts so the value's string capacity survives.
-  UpdateMsg update_scratch_;
 };
 
 }  // namespace cckvs

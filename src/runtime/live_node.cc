@@ -55,12 +55,26 @@ LiveNode::LiveNode(LiveRack* rack, NodeId id, WorkloadGenerator gen)
   partition_ = std::make_unique<Partition>(pc);
 
   cache_ = std::make_unique<SymmetricCache>(p.cache_capacity);
+  if (p.l1_capacity > 0) {
+    l1_ = std::make_unique<L1TailCache>(p.l1_capacity, p.l1_policy,
+                                        p.workload.value_bytes);
+    // The sketch needs headroom over the L1 so candidates can out-count
+    // residents before one is admitted.
+    l1_sketch_ = std::make_unique<FlatSpaceSaving>(p.l1_capacity * 2);
+    // Lin hits validate against the home shard's current timestamp; in a
+    // ranked rack a remote home is only RPC-reachable, so Lin admission is
+    // restricted to self-homed keys.  SC needs neither: a private copy only
+    // ever lags, which per-session timestamp monotonicity allows.
+    l1_validate_ = p.consistency == ConsistencyModel::kLin;
+    l1_admit_local_only_ = ranked_ && l1_validate_;
+  }
   if (p.consistency == ConsistencyModel::kLin) {
     engine_ = std::make_unique<LinEngine>(id, p.num_nodes, cache_.get(), ep_);
   } else {
     CCKVS_CHECK(p.consistency == ConsistencyModel::kSc);
     engine_ = std::make_unique<ScEngine>(id, p.num_nodes, cache_.get(), ep_);
   }
+  engine_->PrewarmScratch(p.workload.value_bytes);
 
   if (p.online_topk) {
     HotSetManagerConfig hc;
@@ -273,6 +287,11 @@ void LiveNode::PublishCounters() {
   w.flush_boundary.store(ep_->coalescer().flushes(FlushCause::kBoundary), relaxed);
   w.flush_idle.store(ep_->coalescer().flushes(FlushCause::kIdle), relaxed);
   w.flush_deadline.store(ep_->coalescer().flushes(FlushCause::kDeadline), relaxed);
+  if (l1_ != nullptr) {
+    w.l1_hits.store(counters_.l1_hits, relaxed);
+    w.l1_invalidations.store(l1_->stats().invalidations, relaxed);
+    w.l1_fills.store(l1_->stats().fills, relaxed);
+  }
   w.allocs.store(track_allocs_ ? alloc::ThreadCount() : 0, relaxed);
   w.inbound_depth.store(rack_->transport().fabric().InboundDepth(id_), relaxed);
 }
@@ -280,6 +299,11 @@ void LiveNode::PublishCounters() {
 std::size_t LiveNode::PollInbound(std::size_t max) {
   return ep_->Poll(max, [this](NodeId src, const WireBody& body) {
     if (const auto* upd = std::get_if<UpdateMsg>(&body)) {
+      if (l1_ != nullptr) {
+        // Write-through-invalidate: a consistency update proves the key was
+        // written somewhere; the private copy must not outlive it.
+        l1_->Invalidate(upd->key);
+      }
       if (cache_->Find(upd->key) != nullptr) {
         engine_->OnUpdate(src, *upd);
       } else if (rack_->HomeOf(upd->key) == id_) {
@@ -293,6 +317,9 @@ std::size_t LiveNode::PollInbound(std::size_t max) {
         hot_mgr_->NoteUncachedUpdate(upd->key, upd->value, upd->ts);
       }
     } else if (const auto* inv = std::get_if<InvalidateMsg>(&body)) {
+      if (l1_ != nullptr) {
+        l1_->Invalidate(inv->key);
+      }
       if (hot_mgr_ != nullptr && cache_->Find(inv->key) == nullptr) {
         hot_mgr_->NoteUncachedInvalidate(inv->key, inv->ts);
       }
@@ -304,6 +331,10 @@ std::size_t LiveNode::PollInbound(std::size_t max) {
         DriveAnnounceTraced(*hot);
       }
     } else if (const auto* fill = std::get_if<FillMsg>(&body)) {
+      if (l1_ != nullptr) {
+        // The key is entering the symmetric tier: tier exclusivity.
+        l1_->Invalidate(fill->key);
+      }
       if (hot_mgr_ != nullptr) {
         hot_mgr_->ApplyFill(*fill);
         if (tracer_ != nullptr) {
@@ -347,6 +378,11 @@ std::size_t LiveNode::PollInbound(std::size_t max) {
 // --- HotSetHost hooks: the live half of the shared transition machine ---
 
 void LiveNode::ApplyWriteback(const SymmetricCache::Eviction& ev) {
+  if (l1_ != nullptr) {
+    // The write-back may carry a value newer than a private copy taken while
+    // the key was still shard-resident.
+    l1_->Invalidate(ev.key);
+  }
   partition_->Apply(ev.key, ev.value, ev.ts);
 }
 
@@ -401,6 +437,13 @@ void LiveNode::MaybeRetryDeferred() {
 }
 
 void LiveNode::DriveAnnounceTraced(const HotSetAnnounceMsg& msg) {
+  if (l1_ != nullptr) {
+    // Tier exclusivity: any key the rack just promoted to the symmetric hot
+    // set leaves the private tail (the symmetric copy becomes authoritative).
+    for (const Key key : msg.keys) {
+      l1_->Invalidate(key);
+    }
+  }
   if (tracer_ != nullptr) {
     tracer_->Instant(SpanKind::kAnnounce, 0, 0, msg.epoch, msg.keys.size());
     if (install_start_cycles_ == 0 && msg.epoch > install_epoch_) {
@@ -511,14 +554,24 @@ void LiveNode::IssueOp(std::uint32_t slot) {
 void LiveNode::RouteOp(std::uint32_t slot) {
   Session& sess = sessions_[slot];
   const Key key = sess.op.key;
+  if (l1_ != nullptr) {
+    if (sess.op.type == OpType::kPut) {
+      // Write-through-invalidate: drop the private copy up front (even if the
+      // write later parks), then take the normal shard/RPC write path.
+      l1_->Invalidate(key);
+    } else if (TryServeFromL1(slot)) {
+      return;
+    }
+  }
   if (cache_->Probe(key)) {
     if (sess.op.type == OpType::kGet) {
       Timestamp ts;
-      const auto result = engine_->Read(
-          key, &read_scratch_, &ts,
-          [this, slot](const Value& v, Timestamp t) { CompleteOp(slot, v, t, true); });
+      const auto result = engine_->Read(key, &read_scratch_, &ts,
+                                        [this, slot](const Value& v, Timestamp t) {
+                                          CompleteOp(slot, v, t, Route::kCache);
+                                        });
       if (result == CoherenceEngine::ReadResult::kHit) {
-        CompleteOp(slot, read_scratch_, ts, true);
+        CompleteOp(slot, read_scratch_, ts, Route::kCache);
       }
       // kBlocked: the parked-reader callback completes the op.
       return;
@@ -537,6 +590,60 @@ void LiveNode::RouteOp(std::uint32_t slot) {
     return;
   }
   RouteMissOp(slot);
+}
+
+bool LiveNode::TryServeFromL1(std::uint32_t slot) {
+  Session& sess = sessions_[slot];
+  const Key key = sess.op.key;
+  Timestamp ts;
+  if (!l1_->Get(key, &read_scratch_, &ts)) {
+    return false;
+  }
+  if (l1_validate_) {
+    // Lin: a hit only counts if the home shard still holds the exact write we
+    // cached — (clock, writer) uniquely identifies a write, so a timestamp
+    // match means same value, and the peek instant is the linearization
+    // point, exactly as a real shard Get would be.  A resident flag means the
+    // symmetric tier owns the key now; either way the private copy dies and
+    // the op falls through to the ordinary paths.
+    Timestamp home_ts;
+    bool resident = false;
+    const bool ok = rack_->PartitionOf(key).PeekTimestamp(key, &home_ts, &resident);
+    CCKVS_CHECK(ok);
+    if (resident || !(home_ts == ts)) {
+      l1_->Invalidate(key);
+      return false;
+    }
+  }
+  if (sess.trace_id != 0) {
+    tracer_->Instant(SpanKind::kL1Hit, sess.trace_id, sess.op_span, key, 0);
+  }
+  CompleteOp(slot, read_scratch_, ts, Route::kL1);
+  return true;
+}
+
+void LiveNode::MaybeAdmitToL1(Key key, const Value& value, Timestamp ts) {
+  if (l1_admit_local_only_ && rack_->HomeOf(key) != id_) {
+    return;
+  }
+  std::uint64_t guaranteed = 0;
+  l1_sketch_->Offer(key, &guaranteed);
+  if (++l1_offers_ % (l1_sketch_->capacity() * 8) == 0) {
+    // Age the sketch so a key that WAS locally hot cannot squat on a counter
+    // forever once per-node popularity drifts.
+    l1_sketch_->DecayHalve();
+  }
+  if (guaranteed < 2) {
+    // Gate on PROVEN sightings (count - error), not the estimate: a saturated
+    // sketch hands every newcomer the evicted minimum as its estimate, and
+    // admitting on that would fill the L1 with one-hit tail keys — churn that
+    // evicts the genuinely hot-here entries and burns fill CPU for no reuse.
+    return;
+  }
+  if (cache_->Find(key) != nullptr) {
+    return;  // tier exclusivity: the symmetric tier already owns it
+  }
+  l1_->Fill(key, value, ts);
 }
 
 void LiveNode::RouteMissOp(std::uint32_t slot) {
@@ -575,7 +682,7 @@ void LiveNode::RouteMissOp(std::uint32_t slot) {
       tracer_->Emit(SpanKind::kShardRead, sess.trace_id, tracer_->NewSpanId(),
                     sess.op_span, shard_start, CycleNow(), key, 0);
     }
-    CompleteOp(slot, read_scratch_, ts, false);
+    CompleteOp(slot, read_scratch_, ts, Route::kMiss);
   } else {
     Timestamp ts;
     if (!home.TryPut(key, sess.op.value, &ts)) {
@@ -592,7 +699,7 @@ void LiveNode::RouteMissOp(std::uint32_t slot) {
       tracer_->Emit(SpanKind::kShardWrite, sess.trace_id, tracer_->NewSpanId(),
                     sess.op_span, shard_start, CycleNow(), key, 0);
     }
-    CompleteOp(slot, sess.op.value, ts, false);
+    CompleteOp(slot, sess.op.value, ts, Route::kMiss);
   }
 }
 
@@ -622,7 +729,7 @@ void LiveNode::StartCacheWrite(std::uint32_t slot) {
         (engine_->model() == ConsistencyModel::kLin && e != nullptr) ? e->pending_ts
         : e != nullptr                                               ? e->ts()
                                                                      : Timestamp{};
-    CompleteOp(slot, sessions_[slot].op.value, ts, true);
+    CompleteOp(slot, sessions_[slot].op.value, ts, Route::kCache);
   });
 }
 
@@ -689,6 +796,11 @@ void LiveNode::ServeRpc(NodeId src, const RpcRequest& req) {
     if (!partition_->TryPut(req.key, req.value, &ts)) {
       resp.gated = true;
     } else {
+      if (l1_ != nullptr) {
+        // A peer just wrote our shard; the home is the one place that
+        // observes it, so invalidate any private copy here.
+        l1_->Invalidate(req.key);
+      }
       resp.ts = ts;
     }
   }
@@ -733,7 +845,7 @@ void LiveNode::OnRpcResponse(const RpcResponse& resp) {
   }
   CompleteOp(slot,
              sess.op.type == OpType::kGet ? resp.value : sess.op.value,
-             resp.ts, /*via_cache=*/false);
+             resp.ts, Route::kMiss);
 }
 
 bool LiveNode::LocallyQuiescent() const {
@@ -810,14 +922,18 @@ bool LiveNode::RankedTermination() {
 }
 
 void LiveNode::CompleteOp(std::uint32_t slot, const Value& read_value, Timestamp ts,
-                          bool via_cache) {
+                          Route route) {
   Session& sess = sessions_[slot];
   CCKVS_CHECK(!sess.idle);
   ++counters_.completed;
-  if (via_cache) {
-    ++counters_.hit_completed;
-  } else {
+  if (route == Route::kMiss) {
     ++counters_.miss_completed;
+  } else {
+    // Hierarchy hit rate: L1 and symmetric hits both avoided the shard/RPC.
+    ++counters_.hit_completed;
+    if (route == Route::kL1) {
+      ++counters_.l1_hits;
+    }
   }
   // Per-op latency from raw cycle stamps (rdtsc where available): immune to
   // the history clock's tie-breaking bumps and cheap enough to keep on in
@@ -833,7 +949,8 @@ void LiveNode::CompleteOp(std::uint32_t slot, const Value& read_value, Timestamp
     tracer_->Emit(SpanKind::kOp, sess.trace_id, sess.op_span, 0,
                   sess.invoke_cycles, done_cycles, sess.op.key,
                   (sess.op.type == OpType::kPut ? 1u : 0u) |
-                      (via_cache ? 2u : 0u));
+                      (route == Route::kCache ? 2u : 0u) |
+                      (route == Route::kL1 ? 4u : 0u));
     sess.trace_id = 0;
     sess.op_span = 0;
     sess.rpc_span = 0;
@@ -852,6 +969,21 @@ void LiveNode::CompleteOp(std::uint32_t slot, const Value& read_value, Timestamp
     h.invoke = sess.invoke;
     h.complete = NowTs();
     history_.push_back(std::move(h));
+  }
+
+  if (l1_ != nullptr && sess.op.type == OpType::kPut) {
+    // Invalidate AGAIN at completion, not just at routing: a concurrent
+    // session's in-flight GET may have read the shard before this write and
+    // refilled the L1 after the routing-time invalidation.  The fabric is
+    // FIFO per peer pair, so any such stale response was delivered — and its
+    // fill applied — before this write's own response; dropping the key here
+    // therefore kills every fill the write could have raced.
+    l1_->Invalidate(sess.op.key);
+  }
+  if (l1_ != nullptr && route == Route::kMiss && sess.op.type == OpType::kGet) {
+    // The miss path just produced an authoritative (value, ts) — the only
+    // kind of read the L1 admits.
+    MaybeAdmitToL1(sess.op.key, read_value, ts);
   }
 
   sess.idle = true;

@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/cache/l1_tail.h"
 #include "src/cache/symmetric_cache.h"
 #include "src/cckvs/rpc_messages.h"
 #include "src/common/histogram.h"
@@ -34,6 +35,7 @@
 #include "src/runtime/tracing.h"
 #include "src/runtime/transport.h"
 #include "src/store/partition.h"
+#include "src/topk/flat_space_saving.h"
 #include "src/topk/hot_set_manager.h"
 #include "src/verify/history.h"
 #include "src/workload/workload.h"
@@ -65,6 +67,7 @@ class LiveNode final : private HotSetHost {
     std::uint64_t completed = 0;
     std::uint64_t hit_completed = 0;
     std::uint64_t miss_completed = 0;
+    std::uint64_t l1_hits = 0;       // ops served from the private L1 tail
     std::uint64_t sc_credit_stalls = 0;
     std::uint64_t gate_retries = 0;  // shard ops parked on the residency gate
     std::uint64_t rpcs_sent = 0;     // ranked mode: remote-home misses over RPC
@@ -77,10 +80,16 @@ class LiveNode final : private HotSetHost {
   const Histogram& latency() const { return latency_; }
   const std::vector<HistoryOp>& history_ops() const { return history_; }
   const SymmetricCache& cache() const { return *cache_; }
+  // Private L1 tail, or nullptr when params.l1_capacity == 0.
+  const L1TailCache* l1() const { return l1_.get(); }
   const CoherenceEngine& engine() const { return *engine_; }
   const HotSetManager* hot_set_manager() const { return hot_mgr_.get(); }
 
  private:
+  // How an op completed: the shard/RPC miss path, the shared symmetric cache,
+  // or the node-private L1 tail.  kCache and kL1 both count as hierarchy hits.
+  enum class Route : std::uint8_t { kMiss, kCache, kL1 };
+
   struct Session {
     Op op;
     SimTime invoke = 0;               // history clock (record_history runs)
@@ -138,11 +147,17 @@ class LiveNode final : private HotSetHost {
   // the direct-shard miss path (parking on the residency gate if it is up).
   void RouteOp(std::uint32_t slot);
   void RouteMissOp(std::uint32_t slot);
+  // GET fast path: serve from the private L1 tail if resident (Lin validates
+  // the copy against the home shard first).  True when the op completed.
+  bool TryServeFromL1(std::uint32_t slot);
+  // Admission on authoritative miss reads: offer to the per-node sketch and
+  // fill the L1 once the key proves locally hot (and is not globally hot).
+  void MaybeAdmitToL1(Key key, const Value& value, Timestamp ts);
   void StartCacheWrite(std::uint32_t slot);
   void RetryParkedScWrites();
   bool RetryGatedOps();
   void CompleteOp(std::uint32_t slot, const Value& read_value, Timestamp ts,
-                  bool via_cache);
+                  Route route);
   bool AllSessionsIdle() const { return idle_sessions_ == sessions_.size(); }
   // Strictly increasing per-thread history clock (ties would make the
   // checkers' per-session invoke sort ambiguous).
@@ -183,6 +198,12 @@ class LiveNode final : private HotSetHost {
   std::unique_ptr<SymmetricCache> cache_;
   std::unique_ptr<CoherenceEngine> engine_;
   std::unique_ptr<HotSetManager> hot_mgr_;  // online_topk runs only
+  // --- node-private L1 tail (params.l1_capacity > 0) ---
+  std::unique_ptr<L1TailCache> l1_;
+  std::unique_ptr<FlatSpaceSaving> l1_sketch_;  // local-popularity admission
+  std::uint64_t l1_offers_ = 0;                 // drives the sketch decay cadence
+  bool l1_validate_ = false;          // Lin: check each hit against the home shard
+  bool l1_admit_local_only_ = false;  // ranked Lin: no shard to validate against
   WorkloadGenerator gen_;
 
   std::vector<Session> sessions_;

@@ -225,6 +225,11 @@ LiveReport LiveRack::Run() {
     report.sc_credit_stalls += c.sc_credit_stalls;
     report.gate_retries += c.gate_retries;
     report.rpcs_sent += c.rpcs_sent;
+    report.rack.l1_hits += c.l1_hits;
+    if (const L1TailCache* l1 = node.l1(); l1 != nullptr) {
+      report.rack.l1_fills += l1->stats().fills;
+      report.rack.l1_invalidations += l1->stats().invalidations;
+    }
     report.hot_path_allocs += node.hot_path_allocs();
     latency.Merge(node.latency());
     AddEngineStats(node.engine().stats(), &report.engine_totals);

@@ -59,6 +59,15 @@ struct LiveRackParams {
   std::size_t cache_capacity = 1024;
   std::size_t partition_buckets = 1 << 12;
 
+  // Node-private L1 tail cache (cache/l1_tail.h) in front of the symmetric
+  // tier; 0 = off.  Each node admits keys hot LOCALLY but absent from the
+  // global hot set (a per-node Space-Saving sketch gates admission) and
+  // invalidates on any locally observable write, so SC/Lin histories are
+  // unchanged.  Worth turning on when per-node popularity diverges from the
+  // rack-wide ranking (workload.node_rank_stride > 0).
+  std::size_t l1_capacity = 0;
+  L1Policy l1_policy = L1Policy::kLru;
+
   int window_per_node = 8;              // concurrent closed-loop sessions
   std::uint64_t ops_per_node = 250'000; // issue quota per node
 

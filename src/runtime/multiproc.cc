@@ -16,7 +16,7 @@ namespace {
 
 // Bump when the blob layout changes; decode rejects mismatches outright
 // (mixed-version racks would disagree on protocol parameters anyway).
-constexpr std::uint8_t kParamsVersion = 3;  // v3: distributed tracing
+constexpr std::uint8_t kParamsVersion = 4;  // v4: L1 tail + per-node rank skew
 constexpr std::uint64_t kArtifactsMagic = 0x63634b565241'01ull;  // "ccKVRA" v1
 
 std::uint64_t DoubleBits(double d) {
@@ -143,6 +143,9 @@ std::string EncodeRackParams(const LiveRackParams& p) {
   w.PutString(p.trace_path);
   w.PutU64(p.trace_sample);
   w.PutU64(p.trace_ring_capacity);
+  w.PutU64(p.l1_capacity);
+  w.PutU8(static_cast<std::uint8_t>(p.l1_policy));
+  w.PutU64(p.workload.node_rank_stride);
   return ToHex(raw);
 }
 
@@ -208,7 +211,10 @@ bool DecodeRackParams(const std::string& hex, LiveRackParams* out, std::string* 
       r.GetU8(&u8) && ((p.alloc_assert = u8 != 0), true) &&
       r.GetU8(&u8) && ((p.prefill_store = u8 != 0), true) &&
       r.GetString(&p.trace_path) && r.GetU64(&p.trace_sample) &&
-      r.GetU64(&u64) && ((p.trace_ring_capacity = u64), true) && r.AtEnd();
+      r.GetU64(&u64) && ((p.trace_ring_capacity = u64), true) &&
+      r.GetU64(&u64) && ((p.l1_capacity = u64), true) &&
+      r.GetU8(&u8) && u8 <= 2 && ((p.l1_policy = static_cast<L1Policy>(u8)), true) &&
+      r.GetU64(&p.workload.node_rank_stride) && r.AtEnd();
   if (!ok) {
     *error = "rack params blob truncated or malformed";
     return false;

@@ -21,6 +21,9 @@ ProfilerSample LoadTotals(const WorkerCounters& c, int node, std::uint64_t ts_ms
   s.flush_boundary = c.flush_boundary.load(std::memory_order_relaxed);
   s.flush_idle = c.flush_idle.load(std::memory_order_relaxed);
   s.flush_deadline = c.flush_deadline.load(std::memory_order_relaxed);
+  s.l1_hits = c.l1_hits.load(std::memory_order_relaxed);
+  s.l1_invalidations = c.l1_invalidations.load(std::memory_order_relaxed);
+  s.l1_fills = c.l1_fills.load(std::memory_order_relaxed);
   s.allocs = c.allocs.load(std::memory_order_relaxed);
   s.inbound_depth = c.inbound_depth.load(std::memory_order_relaxed);
   return s;
@@ -30,7 +33,8 @@ ProfilerSample LoadTotals(const WorkerCounters& c, int node, std::uint64_t ts_ms
 
 const char* ProfilerCsvHeader() {
   return "ts_ms,node,ops,hits,misses,rpcs,msgs_sent,batches_sent,flush_size,"
-         "flush_boundary,flush_idle,flush_deadline,allocs,inbound_depth";
+         "flush_boundary,flush_idle,flush_deadline,l1_hits,l1_invalidations,"
+         "l1_fills,allocs,inbound_depth";
 }
 
 Profiler::Profiler(const Options& options, const std::vector<WorkerCounters>* counters)
@@ -115,6 +119,9 @@ void Profiler::SampleOnce(std::uint64_t ts_ms) {
     delta.flush_boundary = totals.flush_boundary - prev.flush_boundary;
     delta.flush_idle = totals.flush_idle - prev.flush_idle;
     delta.flush_deadline = totals.flush_deadline - prev.flush_deadline;
+    delta.l1_hits = totals.l1_hits - prev.l1_hits;
+    delta.l1_invalidations = totals.l1_invalidations - prev.l1_invalidations;
+    delta.l1_fills = totals.l1_fills - prev.l1_fills;
     prev = totals;
     samples_.push_back(delta);
     Emit(delta);
@@ -125,7 +132,7 @@ void Profiler::Emit(const ProfilerSample& s) {
   const auto row = [&](std::FILE* f, const char* prefix) {
     std::fprintf(f,
                  "%s%llu,%d,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
-                 "%llu,%llu\n",
+                 "%llu,%llu,%llu,%llu,%llu\n",
                  prefix, static_cast<unsigned long long>(s.ts_ms), s.node,
                  static_cast<unsigned long long>(s.ops),
                  static_cast<unsigned long long>(s.hits),
@@ -137,6 +144,9 @@ void Profiler::Emit(const ProfilerSample& s) {
                  static_cast<unsigned long long>(s.flush_boundary),
                  static_cast<unsigned long long>(s.flush_idle),
                  static_cast<unsigned long long>(s.flush_deadline),
+                 static_cast<unsigned long long>(s.l1_hits),
+                 static_cast<unsigned long long>(s.l1_invalidations),
+                 static_cast<unsigned long long>(s.l1_fills),
                  static_cast<unsigned long long>(s.allocs),
                  static_cast<unsigned long long>(s.inbound_depth));
   };

@@ -52,6 +52,9 @@ struct WorkerCounters {
   std::atomic<std::uint64_t> flush_boundary{0};
   std::atomic<std::uint64_t> flush_idle{0};
   std::atomic<std::uint64_t> flush_deadline{0};
+  std::atomic<std::uint64_t> l1_hits{0};
+  std::atomic<std::uint64_t> l1_invalidations{0};
+  std::atomic<std::uint64_t> l1_fills{0};
   // Gauges (instantaneous).
   std::atomic<std::uint64_t> allocs{0};
   std::atomic<std::uint64_t> inbound_depth{0};
@@ -72,6 +75,9 @@ struct ProfilerSample {
   std::uint64_t flush_boundary = 0;
   std::uint64_t flush_idle = 0;
   std::uint64_t flush_deadline = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_invalidations = 0;
+  std::uint64_t l1_fills = 0;
   std::uint64_t allocs = 0;
   std::uint64_t inbound_depth = 0;
 };

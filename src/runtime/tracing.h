@@ -58,6 +58,7 @@ enum class SpanKind : std::uint8_t {
   kPeerInstalled,  // instant: peer's install confirmation arrived (arg0=epoch, arg1=src)
   kFillApplied,    // instant: fill landed in the local cache (arg0=key, arg1=epoch)
   kStateDump,      // instant: periodic node state (CCKVS_DEBUG_STATE, structured)
+  kL1Hit,          // instant: op served from the node-private L1 tail (arg0=key)
   kNumKinds,
 };
 
@@ -93,6 +94,8 @@ inline const char* ToString(SpanKind k) {
       return "fill_applied";
     case SpanKind::kStateDump:
       return "state_dump";
+    case SpanKind::kL1Hit:
+      return "l1_hit";
     case SpanKind::kNumKinds:
       break;
   }

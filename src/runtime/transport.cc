@@ -81,7 +81,12 @@ LiveTransport::Endpoint::Endpoint(LiveTransport* transport, NodeId self)
       bcast_credits_(transport->config_.num_nodes,
                      transport->config_.bcast_credits_per_peer),
       batcher_(transport->config_.num_nodes, transport->config_.credit_update_batch),
-      pending_(static_cast<std::size_t>(transport->config_.num_nodes)) {}
+      pending_(static_cast<std::size_t>(transport->config_.num_nodes)) {
+  // One Drain() can hand back at most a full ring of batches; reserving the
+  // drain buffer up front keeps Poll() allocation-free no matter how inbound
+  // bursts line up with the measured window.
+  scratch_.reserve(transport->config_.channel_capacity);
+}
 
 void LiveTransport::Endpoint::Enqueue(NodeId to, WireBody body) {
   // Count before the message becomes visible so inflight() never

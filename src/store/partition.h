@@ -83,6 +83,15 @@ class Partition {
   // an authoritative cached copy.  On success *ts receives the timestamp.
   bool TryPut(Key key, const Value& value, Timestamp* ts);
 
+  // Header-only seqlock peek: the record's current timestamp and residency
+  // flag, with no value copy-out.  The L1 tail's Lin validation path uses
+  // this to check a private copy against the home shard on every hit; the
+  // miss semantics mirror Get (a never-written key under a configured
+  // synthesizer reports the zero timestamp and returns true).
+  bool PeekTimestamp(Key key, Timestamp* ts, bool* cache_resident) const {
+    return Get(key, nullptr, ts, cache_resident);
+  }
+
   // Timestamped apply, used by write-back flushes from the symmetric cache and
   // by recovery paths: installs (value, ts) iff ts is newer than the stored
   // timestamp (or the key is absent).  Returns true when applied.  Applies are

@@ -1,0 +1,183 @@
+#include "src/topk/flat_space_saving.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/hash.h"
+
+namespace cckvs {
+namespace {
+
+std::size_t NextPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+FlatSpaceSaving::FlatSpaceSaving(std::size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1),
+      index_(NextPow2(capacity_ * 2), kEmpty),
+      index_mask_(index_.size() - 1) {
+  heap_.reserve(capacity_);
+  index_pos_of_.assign(capacity_, kEmpty);
+}
+
+std::size_t FlatSpaceSaving::IndexHomePos(Key key) const {
+  return static_cast<std::size_t>(HashKey(key)) & index_mask_;
+}
+
+std::size_t FlatSpaceSaving::FindIndexPos(Key key) const {
+  std::size_t pos = IndexHomePos(key);
+  while (index_[pos] != kEmpty) {
+    if (heap_[static_cast<std::size_t>(index_[pos])].key == key) {
+      return pos;
+    }
+    pos = (pos + 1) & index_mask_;
+  }
+  return index_.size();
+}
+
+void FlatSpaceSaving::IndexInsert(Key key, std::size_t heap_pos) {
+  std::size_t pos = IndexHomePos(key);
+  while (index_[pos] != kEmpty) {
+    pos = (pos + 1) & index_mask_;
+  }
+  index_[pos] = static_cast<std::int32_t>(heap_pos);
+  index_pos_of_[heap_pos] = static_cast<std::int32_t>(pos);
+}
+
+// Same backward-shift deletion as cache/l1_tail.cc: no tombstones.
+void FlatSpaceSaving::IndexEraseAt(std::size_t pos) {
+  index_[pos] = kEmpty;
+  std::size_t hole = pos;
+  std::size_t probe = pos;
+  while (true) {
+    probe = (probe + 1) & index_mask_;
+    if (index_[probe] == kEmpty) {
+      return;
+    }
+    const std::size_t home =
+        IndexHomePos(heap_[static_cast<std::size_t>(index_[probe])].key);
+    const bool reachable = hole < probe ? (home > hole && home <= probe)
+                                        : (home > hole || home <= probe);
+    if (!reachable) {
+      index_[hole] = index_[probe];
+      index_pos_of_[static_cast<std::size_t>(index_[probe])] =
+          static_cast<std::int32_t>(hole);
+      index_[probe] = kEmpty;
+      hole = probe;
+    }
+  }
+}
+
+void FlatSpaceSaving::Swap(std::size_t a, std::size_t b) {
+  const std::int32_t pa = index_pos_of_[a];
+  const std::int32_t pb = index_pos_of_[b];
+  std::swap(heap_[a], heap_[b]);
+  index_[static_cast<std::size_t>(pa)] = static_cast<std::int32_t>(b);
+  index_[static_cast<std::size_t>(pb)] = static_cast<std::int32_t>(a);
+  index_pos_of_[a] = pb;
+  index_pos_of_[b] = pa;
+}
+
+void FlatSpaceSaving::SiftUp(std::size_t heap_pos) {
+  while (heap_pos > 0) {
+    const std::size_t parent = (heap_pos - 1) / 2;
+    if (heap_[parent].count <= heap_[heap_pos].count) {
+      return;
+    }
+    Swap(parent, heap_pos);
+    heap_pos = parent;
+  }
+}
+
+void FlatSpaceSaving::SiftDown(std::size_t heap_pos) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t left = 2 * heap_pos + 1;
+    if (left >= n) {
+      return;
+    }
+    std::size_t smallest = left;
+    const std::size_t right = left + 1;
+    if (right < n && heap_[right].count < heap_[left].count) {
+      smallest = right;
+    }
+    if (heap_[heap_pos].count <= heap_[smallest].count) {
+      return;
+    }
+    Swap(heap_pos, smallest);
+    heap_pos = smallest;
+  }
+}
+
+std::uint64_t FlatSpaceSaving::Offer(Key key, std::uint64_t* guaranteed) {
+  const std::size_t pos = FindIndexPos(key);
+  if (pos != index_.size()) {
+    const std::size_t hp = static_cast<std::size_t>(index_[pos]);
+    Entry& e = heap_[hp];
+    const std::uint64_t count = ++e.count;
+    if (guaranteed != nullptr) {
+      *guaranteed = count - e.error;
+    }
+    SiftDown(hp);  // count grew: may need to move away from the min root
+    return count;
+  }
+  if (heap_.size() < capacity_) {
+    heap_.push_back(Entry{key, 1, 0});  // within the reserve: no allocation
+    IndexInsert(key, heap_.size() - 1);
+    SiftUp(heap_.size() - 1);
+    if (guaranteed != nullptr) {
+      *guaranteed = 1;
+    }
+    return 1;
+  }
+  // Space-Saving replacement: the newcomer takes over the minimum counter
+  // and inherits its count as the error bound.
+  Entry& min = heap_[0];
+  const std::size_t old_pos = static_cast<std::size_t>(index_pos_of_[0]);
+  CCKVS_CHECK(index_[old_pos] == 0);
+  IndexEraseAt(old_pos);
+  min.error = min.count;
+  min.count += 1;
+  min.key = key;
+  IndexInsert(key, 0);
+  const std::uint64_t count = min.count;
+  if (guaranteed != nullptr) {
+    *guaranteed = 1;
+  }
+  SiftDown(0);
+  return count;
+}
+
+void FlatSpaceSaving::DecayHalve() {
+  // x -> x/2 is monotone, so the heap invariant survives untouched.
+  for (Entry& e : heap_) {
+    e.count /= 2;
+    e.error /= 2;
+  }
+}
+
+std::uint64_t FlatSpaceSaving::EstimateOf(Key key) const {
+  const std::size_t pos = FindIndexPos(key);
+  return pos == index_.size()
+             ? 0
+             : heap_[static_cast<std::size_t>(index_[pos])].count;
+}
+
+std::vector<FlatSpaceSaving::Entry> FlatSpaceSaving::TopK(std::size_t k) const {
+  std::vector<Entry> sorted = heap_;
+  std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
+    return a.count != b.count ? a.count > b.count : a.key < b.key;
+  });
+  if (sorted.size() > k) {
+    sorted.resize(k);
+  }
+  return sorted;
+}
+
+}  // namespace cckvs

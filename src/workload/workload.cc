@@ -76,6 +76,11 @@ WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& config,
   CCKVS_CHECK_GE(config.keyspace, 1u);
   CCKVS_CHECK_GE(config.write_ratio, 0.0);
   CCKVS_CHECK_LE(config.write_ratio, 1.0);
+  if (config.node_rank_stride != 0) {
+    rank_offset_ = static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>(writer_tag) * config.node_rank_stride %
+        config.keyspace);
+  }
 }
 
 Key WorkloadGenerator::KeyOfRankAt(std::uint64_t rank0, std::uint64_t phase) const {
@@ -86,6 +91,11 @@ Key WorkloadGenerator::KeyOfRankAt(std::uint64_t rank0, std::uint64_t phase) con
         static_cast<unsigned __int128>(phase) * config_.drift_rank_shift %
         config_.keyspace);
     rank0 = (rank0 + shift) % config_.keyspace;
+  }
+  if (rank_offset_ != 0) {
+    // Per-node skew: this generator's rank r is everyone else's rank
+    // (r + offset) — the nodes disagree on which keys are hot.
+    rank0 = (rank0 + rank_offset_) % config_.keyspace;
   }
   return scrambler_.RankToKey(rank0);
 }

@@ -35,6 +35,14 @@ struct WorkloadConfig {
   // paces, as real traffic shifts would reach frontends.  0 = stationary.
   std::uint64_t drift_period_ops = 0;
   std::uint64_t drift_rank_shift = 0;
+
+  // Per-node popularity skew.  Generator with writer tag t samples ranks
+  // rotated by t * node_rank_stride, so the nodes agree on the Zipf SHAPE but
+  // not on WHICH keys hold the top ranks: local popularity != global
+  // popularity, the regime where the node-private L1 tail (cache/l1_tail.h)
+  // helps and the purely symmetric hot set cannot.  0 (default) keeps every
+  // generator sampling the same ranking — the paper's workload.
+  std::uint64_t node_rank_stride = 0;
 };
 
 struct Op {
@@ -110,6 +118,7 @@ class WorkloadGenerator {
   KeyScrambler scrambler_;
   Rng rng_;
   std::uint32_t writer_tag_;
+  std::uint64_t rank_offset_ = 0;  // writer_tag * node_rank_stride mod keyspace
   std::uint64_t seq_ = 0;
   std::uint64_t ops_ = 0;
 };

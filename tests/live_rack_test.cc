@@ -266,6 +266,81 @@ TEST(LiveRackTest, PrefilledOnlineTopkStaysConsistent) {
   EXPECT_EQ(rack.history().CheckPerKeyLinearizability(), "");
 }
 
+// The node-private L1 tail in front of the symmetric tier: per-node rank
+// skew (node_rank_stride) makes each node's locally-hot keys diverge from
+// the global hot set, so the L1 actually fills and serves.  The sealed
+// histories must stay exactly as checker-clean as without the L1 — the
+// write-through-invalidate posture's whole claim — and the two tiers must
+// never hold the same key (tier exclusivity).
+TEST(LiveRackTest, L1TailStressStaysConsistent) {
+  for (const ConsistencyModel model :
+       {ConsistencyModel::kSc, ConsistencyModel::kLin}) {
+    for (const L1Policy policy : {L1Policy::kLru, L1Policy::kLfu}) {
+      LiveRackParams p = StressParams(model);
+      p.l1_capacity = 256;
+      p.l1_policy = policy;
+      p.workload.node_rank_stride = 1'024;  // per-node popularity divergence
+      p.ops_per_node = OpsPerNode(120'000, 20'000);
+      p.seed = 29;
+      LiveRack rack(p);
+      const LiveReport r = rack.Run();
+      ExpectHealthyRun(p, r);
+      EXPECT_GT(r.rack.l1_fills, 0u) << "L1 never admitted a key";
+      EXPECT_GT(r.rack.l1_hits, 0u) << "L1 never served a hit";
+      EXPECT_GT(r.rack.l1_invalidations, 0u) << "writes never invalidated";
+      for (NodeId n = 0; n < static_cast<NodeId>(p.num_nodes); ++n) {
+        const L1TailCache* l1 = rack.node(n).l1();
+        ASSERT_NE(l1, nullptr);
+        for (const Key key : l1->Keys()) {
+          EXPECT_EQ(rack.node(n).cache().Find(key), nullptr)
+              << "key " << key << " resident in both tiers on node "
+              << static_cast<int>(n);
+        }
+      }
+      const std::string err = model == ConsistencyModel::kSc
+                                  ? rack.history().CheckPerKeySequentialConsistency()
+                                  : rack.history().CheckPerKeyLinearizability();
+      EXPECT_EQ(err, "") << "model=" << ToString(model)
+                         << " policy=" << ToString(policy);
+      EXPECT_EQ(rack.history().CheckWriteAtomicity(), "")
+          << "model=" << ToString(model) << " policy=" << ToString(policy);
+    }
+  }
+}
+
+// L1 composed with epoch churn: keys promoted into the symmetric tier by an
+// announce must leave every node's L1 (the announce hook), and the residency
+// gate must keep Lin validation honest while shard copies are transiently
+// stale.
+TEST(LiveRackTest, L1TailUnderEpochChurnStaysConsistent) {
+  for (const ConsistencyModel model :
+       {ConsistencyModel::kSc, ConsistencyModel::kLin}) {
+    LiveRackParams p = StressParams(model);
+    p.l1_capacity = 128;
+    p.l1_policy = L1Policy::kClock;
+    p.workload.keyspace = 8'192;
+    p.workload.node_rank_stride = 512;
+    p.workload.drift_period_ops = 15'000;
+    p.workload.drift_rank_shift = 64;
+    p.cache_capacity = 256;
+    p.prefill_hot_set = false;
+    p.online_topk = true;
+    p.topk_epoch_requests = 5'000;
+    p.topk_sample_probability = 1.0;
+    p.ops_per_node = OpsPerNode(60'000, 15'000);
+    p.seed = 31;
+    LiveRack rack(p);
+    const LiveReport r = rack.Run();
+    ExpectHealthyRun(p, r);
+    EXPECT_GT(r.rack.epochs, 1u);
+    const std::string err = model == ConsistencyModel::kSc
+                                ? rack.history().CheckPerKeySequentialConsistency()
+                                : rack.history().CheckPerKeyLinearizability();
+    EXPECT_EQ(err, "") << "model=" << ToString(model);
+    EXPECT_EQ(rack.history().CheckWriteAtomicity(), "") << "model=" << ToString(model);
+  }
+}
+
 // The cooperative stop token halts issuing early but still drains to global
 // quiescence, so the sealed history stays checker-clean.
 TEST(LiveRackTest, EarlyStopStillSealsHistories) {

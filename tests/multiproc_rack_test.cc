@@ -90,8 +90,17 @@ std::string ArtifactPath(const std::string& run_tag, int rank) {
 // Spawns ranks 1..3 as child processes, runs rank 0 in-process, merges all
 // histories and runs the full checkers.
 void RunAndCertify(TransportKind kind, ConsistencyModel model,
-                   const std::string& run_tag) {
+                   const std::string& run_tag, bool with_l1 = false) {
   LiveRackParams params = MultiprocParams(kind, model, run_tag);
+  if (with_l1) {
+    // Node-private L1 tail in every rank, with per-node rank skew so each
+    // process actually fills its private tier.  The blob carries the L1
+    // knobs to the child ranks; the merged histories must stay as
+    // checker-clean as without the L1.
+    params.l1_capacity = 128;
+    params.l1_policy = L1Policy::kLru;
+    params.workload.node_rank_stride = 512;
+  }
 
   std::vector<pid_t> children;
   for (int rank = 1; rank < params.num_nodes; ++rank) {
@@ -156,6 +165,16 @@ TEST(MultiprocRack, ShmFourRanksLinUnderEpochsAndDrift) {
 
 TEST(MultiprocRack, ShmFourRanksScUnderEpochsAndDrift) {
   RunAndCertify(TransportKind::kShm, ConsistencyModel::kSc, "shm_sc");
+}
+
+TEST(MultiprocRack, ShmFourRanksScWithL1Tail) {
+  RunAndCertify(TransportKind::kShm, ConsistencyModel::kSc, "shm_sc_l1",
+                /*with_l1=*/true);
+}
+
+TEST(MultiprocRack, ShmFourRanksLinWithL1Tail) {
+  RunAndCertify(TransportKind::kShm, ConsistencyModel::kLin, "shm_lin_l1",
+                /*with_l1=*/true);
 }
 
 TEST(MultiprocRack, SocketFourRanksLinUnderEpochsAndDrift) {
@@ -314,6 +333,9 @@ TEST(MultiprocRack, ParamsRoundTripThroughHexBlob) {
   p.transport.rank = 2;
   p.coalescing = true;
   p.coalesce_flush_deadline_us = 77;
+  p.l1_capacity = 333;
+  p.l1_policy = L1Policy::kLfu;
+  p.workload.node_rank_stride = 1'234;
   const std::string hex = EncodeRackParams(p);
   LiveRackParams q;
   std::string error;
@@ -324,6 +346,9 @@ TEST(MultiprocRack, ParamsRoundTripThroughHexBlob) {
   EXPECT_EQ(q.transport.kind, TransportKind::kSocket);
   EXPECT_EQ(q.workload.zipf_alpha, p.workload.zipf_alpha);
   EXPECT_EQ(q.clock_epoch_ns, p.clock_epoch_ns);
+  EXPECT_EQ(q.l1_capacity, 333u);
+  EXPECT_EQ(q.l1_policy, L1Policy::kLfu);
+  EXPECT_EQ(q.workload.node_rank_stride, 1'234u);
 
   LiveRackParams bad;
   EXPECT_FALSE(DecodeRackParams(hex.substr(0, hex.size() - 4), &bad, &error));

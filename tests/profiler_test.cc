@@ -130,6 +130,8 @@ TEST(ProfilerTest, SteadyStateScRunIsAllocationFree) {
   p.workload.write_ratio = 0.05;
   p.workload.value_bytes = 40;
   p.cache_capacity = 200;
+  p.l1_capacity = 128;  // the L1 tail + admission sketch run inside the audit
+  p.workload.node_rank_stride = 1'000;  // make the L1 actually fill and serve
   p.window_per_node = 16;
   p.ops_per_node = 30'000;
   p.coalescing = true;
@@ -147,6 +149,7 @@ TEST(ProfilerTest, SteadyStateScRunIsAllocationFree) {
                                          // whatever was in flight at quota
   EXPECT_EQ(r.hot_path_allocs, 0u);
   EXPECT_FALSE(r.profiler_samples.empty());
+  EXPECT_GT(r.rack.l1_hits, 0u) << "the audit should cover a SERVING L1";
 }
 
 TEST(ProfilerTest, RunLoopAndProfilingParamsRoundTripThroughBlob) {
@@ -165,6 +168,9 @@ TEST(ProfilerTest, RunLoopAndProfilingParamsRoundTripThroughBlob) {
   p.track_allocs = true;
   p.alloc_assert = true;
   p.prefill_store = true;
+  p.l1_capacity = 256;
+  p.l1_policy = L1Policy::kClock;
+  p.workload.node_rank_stride = 4'096;
 
   const std::string blob = EncodeRackParams(p);
   LiveRackParams out;
@@ -181,6 +187,9 @@ TEST(ProfilerTest, RunLoopAndProfilingParamsRoundTripThroughBlob) {
   EXPECT_TRUE(out.track_allocs);
   EXPECT_TRUE(out.alloc_assert);
   EXPECT_TRUE(out.prefill_store);
+  EXPECT_EQ(out.l1_capacity, 256u);
+  EXPECT_EQ(out.l1_policy, L1Policy::kClock);
+  EXPECT_EQ(out.workload.node_rank_stride, 4'096u);
 
   // The defaults must round-trip as defaults (v2 fields absent ≠ garbage).
   LiveRackParams defaults;
@@ -192,6 +201,8 @@ TEST(ProfilerTest, RunLoopAndProfilingParamsRoundTripThroughBlob) {
   EXPECT_FALSE(out2.profile);
   EXPECT_FALSE(out2.track_allocs);
   EXPECT_FALSE(out2.prefill_store);
+  EXPECT_EQ(out2.l1_capacity, 0u);
+  EXPECT_EQ(out2.l1_policy, L1Policy::kLru);
 }
 
 TEST(ProfilerTest, BusyPollRackCompletesAndRecordsLatency) {

@@ -28,6 +28,13 @@ started allocating again (docs/PERFORMANCE.md, "Zero-allocation audit").
 Tracing is designed to be near-free (docs/OBSERVABILITY.md): any entry whose
 `trace_overhead_pct` exceeds 5 is a HARD warning — the traced hot path got
 measurably slower than the untraced one, which defeats always-on sampling.
+
+The L1 tail cache must pay for itself (docs/ARCHITECTURE.md, "hierarchical
+caching"): live_throughput's per-node-skew pair stamps the L1-on entry with
+the paired off-run's whole-rack rate as `l1_off_mrps`.  Both halves of the
+pair run in the same job seconds apart, so this is a same-machine A/B, not a
+cross-run diff: an on-rate below the off-rate is a HARD warning — the private
+tier made the rack slower than not having it.
 """
 
 import json
@@ -140,6 +147,16 @@ def main():
                     f"(limit {TRACE_OVERHEAD_HARD_PCT:.0f}) — sampled tracing "
                     "slowed the hot path beyond its budget"
                 )
+            l1_off = cur_entry.get("l1_off_mrps")
+            if l1_off:
+                l1_on = cur_entry.get("rack_mrps", cur_entry.get("mrps"))
+                if l1_on is not None and l1_on < l1_off:
+                    hard.append(
+                        f"{short} `{label}`: rack_mrps={l1_on:.2f} < "
+                        f"l1_off_mrps={l1_off:.2f} — the L1 tail cache made "
+                        "the rack SLOWER than running without it (same-job "
+                        "A/B pair, not cross-run noise)"
+                    )
         if base_doc is None:
             print(f"| {name} | _(new bench)_ |" + " — |" * len(FIELDS))
             continue
